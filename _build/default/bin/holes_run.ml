@@ -1,0 +1,135 @@
+(* holes-run: run one benchmark profile under one collector/failure
+   configuration and print the full metrics.
+
+     dune exec bin/holes_run.exe -- --bench pmd --rate 0.25 --dist 2cl
+     dune exec bin/holes_run.exe -- --list
+     dune exec bin/holes_run.exe -- --bench xalan --collector ms --heap 3.0 *)
+
+open Cmdliner
+
+let run list_benches bench collector line_size rate dist compensate arraylets heap scale seed verbose =
+  if list_benches then begin
+    print_endline "available benchmark profiles:";
+    List.iter
+      (fun p ->
+        Printf.printf "  %-14s %s\n" p.Holes_workload.Profile.name
+          p.Holes_workload.Profile.description)
+      Holes_workload.Dacapo.suite_with_buggy;
+    0
+  end
+  else
+    match Holes_workload.Dacapo.find bench with
+    | None ->
+        Printf.eprintf "unknown benchmark %S (try --list)\n" bench;
+        1
+    | Some profile -> (
+        let collector =
+          match String.lowercase_ascii collector with
+          | "ms" -> Holes.Config.Mark_sweep
+          | "ix" -> Holes.Config.Immix
+          | "s-ms" | "sms" -> Holes.Config.Sticky_ms
+          | "s-ix" | "six" -> Holes.Config.Sticky_immix
+          | other -> failwith (Printf.sprintf "unknown collector %S (ms|ix|s-ms|s-ix)" other)
+        in
+        let failure_dist =
+          match String.lowercase_ascii dist with
+          | "uniform" -> Holes.Config.Uniform
+          | "1cl" -> Holes.Config.Hw_cluster 1
+          | "2cl" -> Holes.Config.Hw_cluster 2
+          | g -> (
+              match int_of_string_opt g with
+              | Some lines when lines > 0 -> Holes.Config.Granule lines
+              | _ -> failwith (Printf.sprintf "unknown distribution %S (uniform|1cl|2cl|<granule-lines>)" g))
+        in
+        let cfg =
+          {
+            Holes.Config.collector;
+            line_size;
+            failure_rate = rate;
+            failure_dist;
+            compensate;
+            heap_factor = heap;
+            defrag = true;
+            defrag_occupancy = 0.30;
+            nursery_copy = true;
+            arraylets;
+            seed;
+          }
+        in
+        match Holes.Config.validate cfg with
+        | Error m ->
+            Printf.eprintf "invalid configuration: %s\n" m;
+            1
+        | Ok () ->
+            let res = Holes_workload.Generator.run_config ~cfg ~profile ~scale () in
+            Printf.printf "benchmark:  %s (%s)\n" profile.Holes_workload.Profile.name
+              profile.Holes_workload.Profile.description;
+            Printf.printf "config:     %s, heap %.2fx min\n" (Holes.Config.name cfg) heap;
+            Printf.printf "completed:  %b\n" res.Holes_workload.Generator.completed;
+            Printf.printf "time:       %.3f ms (mutator %.3f, gc %.3f)\n"
+              res.Holes_workload.Generator.elapsed_ms res.Holes_workload.Generator.mutator_ms
+              res.Holes_workload.Generator.gc_ms;
+            let m = res.Holes_workload.Generator.metrics in
+            Printf.printf "allocation: %d objects, %.2f MB\n" m.Holes.Metrics.objects_allocated
+              (float_of_int m.Holes.Metrics.bytes_allocated /. 1048576.0);
+            Printf.printf "GCs:        %d full, %d nursery\n" m.Holes.Metrics.full_gcs
+              m.Holes.Metrics.nursery_gcs;
+            (match Holes.Metrics.mean_full_pause_ms m with
+            | Some p ->
+                Printf.printf "full pause: %.3f ms mean, %.3f ms max\n" p
+                  (Option.value ~default:0.0 (Holes.Metrics.max_full_pause_ms m))
+            | None -> ());
+            if verbose then begin
+              Printf.printf "copied:     %.2f MB in %d evacuations\n"
+                (float_of_int m.Holes.Metrics.bytes_copied /. 1048576.0)
+                m.Holes.Metrics.objects_evacuated;
+              Printf.printf "holes:      %d skips, %d lines scanned\n" m.Holes.Metrics.hole_skips
+                m.Holes.Metrics.lines_scanned;
+              Printf.printf "overflow:   %d allocs, %d re-searches, %d perfect fallbacks\n"
+                m.Holes.Metrics.overflow_allocs m.Holes.Metrics.overflow_searches
+                m.Holes.Metrics.perfect_block_fallbacks;
+              Printf.printf "LOS:        %d objects, %d pages\n" m.Holes.Metrics.los_objects
+                m.Holes.Metrics.los_pages
+            end;
+            if res.Holes_workload.Generator.completed then 0 else 2)
+
+let cmd =
+  let list_f = Arg.(value & flag & info [ "list" ] ~doc:"List benchmark profiles and exit.") in
+  let bench =
+    Arg.(value & opt string "pmd" & info [ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark profile.")
+  in
+  let collector =
+    Arg.(value & opt string "s-ix" & info [ "collector"; "c" ] ~docv:"C" ~doc:"Collector: ms, ix, s-ms or s-ix.")
+  in
+  let line_size =
+    Arg.(value & opt int 256 & info [ "line" ] ~docv:"BYTES" ~doc:"Immix logical line size (64/128/256).")
+  in
+  let rate =
+    Arg.(value & opt float 0.0 & info [ "rate"; "r" ] ~docv:"F" ~doc:"PCM line failure rate in [0,0.95].")
+  in
+  let dist =
+    Arg.(value & opt string "uniform"
+         & info [ "dist"; "d" ] ~docv:"D" ~doc:"Failure distribution: uniform, 1cl, 2cl, or a granule size in 64B lines.")
+  in
+  let compensate =
+    Arg.(value & opt bool true & info [ "compensate" ] ~docv:"BOOL" ~doc:"Heap compensation h/(1-f).")
+  in
+  let arraylets =
+    Arg.(value & flag & info [ "arraylets" ] ~doc:"Split large arrays into discontiguous arraylets (Z-rays) instead of using the perfect-page LOS.")
+  in
+  let heap =
+    Arg.(value & opt float 2.0 & info [ "heap" ] ~docv:"X" ~doc:"Heap size as a multiple of the minimum.")
+  in
+  let scale =
+    Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"S" ~doc:"Workload volume scale (1.0 = full).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print detailed metrics.") in
+  let doc = "run one DaCapo-style workload on the failure-aware runtime" in
+  Cmd.v
+    (Cmd.info "holes-run" ~doc)
+    Term.(
+      const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ compensate $ arraylets
+      $ heap $ scale $ seed $ verbose)
+
+let () = exit (Cmd.eval' cmd)

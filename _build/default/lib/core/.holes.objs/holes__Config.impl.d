@@ -1,0 +1,1 @@
+lib/core/config.ml: Holes_heap Holes_pcm Printf

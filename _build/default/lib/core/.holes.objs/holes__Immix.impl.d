@@ -1,0 +1,1 @@
+lib/core/immix.ml: Array Bitset Block Config Cost Float Hashtbl Holes_heap Holes_pcm Holes_stdx Intvec List Los Metrics Object_table Oom Page_stock Printf Remset Sys Units

@@ -1,0 +1,1 @@
+lib/core/los.ml: Cost Hashtbl Holes_heap Holes_pcm List Metrics Page_stock

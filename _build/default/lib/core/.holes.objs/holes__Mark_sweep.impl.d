@@ -1,0 +1,1 @@
+lib/core/mark_sweep.ml: Array Config Cost Hashtbl Holes_heap Holes_pcm Holes_stdx Immix Intvec List Los Metrics Object_table Option Page_stock Remset Units

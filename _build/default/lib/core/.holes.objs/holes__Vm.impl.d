@@ -1,0 +1,1 @@
+lib/core/vm.ml: Bitset Config Cost Format Hashtbl Holes_heap Holes_osal Holes_pcm Holes_stdx Immix List Los Mark_sweep Metrics Object_table Page_stock Units Xrng

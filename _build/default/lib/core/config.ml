@@ -1,0 +1,88 @@
+(** Collector and experiment configuration.
+
+    Mirrors the paper's configuration axes: collector algorithm (MS, IX
+    and sticky variants — Fig. 3), Immix logical line size (64/128/256 B —
+    Figs. 6/7), PCM failure rate and distribution (uniform, 2^N-clustered
+    limit study, or hardware 1-/2-page clustering — Figs. 4, 8, 9), and
+    heap compensation (Fig. 5). *)
+
+type collector = Mark_sweep | Immix | Sticky_ms | Sticky_immix
+
+type failure_dist =
+  | Uniform  (** wear-leveled PCM: failures uniformly over 64 B lines *)
+  | Granule of int
+      (** limit study: failures arrive in aligned clusters of this many
+          64 B lines (Sec. 6.4, Fig. 8) *)
+  | Hw_cluster of int
+      (** proposed hardware: uniform failures moved to region ends, with
+          the region size in pages (1 = 1CL, 2 = 2CL) *)
+
+type t = {
+  collector : collector;
+  line_size : int;  (** Immix logical line size in bytes *)
+  failure_rate : float;  (** fraction of 64 B PCM lines failed *)
+  failure_dist : failure_dist;
+  compensate : bool;  (** grow the heap to h/(1-f) to hold usable memory constant *)
+  heap_factor : float;  (** heap size as a multiple of the workload's minimum *)
+  defrag : bool;  (** evacuate sparse blocks during full collections *)
+  defrag_occupancy : float;  (** evacuation candidate threshold (live fraction) *)
+  nursery_copy : bool;  (** sticky: opportunistically copy nursery survivors *)
+  arraylets : bool;
+      (** allocate large arrays as discontiguous arraylets (Z-rays,
+          Sartor et al. — paper Sec. 3.3.3) instead of page-grained LOS
+          objects: no perfect pages needed, at an access-indirection
+          cost *)
+  seed : int;
+}
+
+let default : t =
+  {
+    collector = Sticky_immix;
+    line_size = Holes_heap.Units.default_line_size;
+    failure_rate = 0.0;
+    failure_dist = Uniform;
+    compensate = true;
+    heap_factor = 2.0;
+    defrag = true;
+    defrag_occupancy = 0.30;
+    nursery_copy = true;
+    arraylets = false;
+    seed = 42;
+  }
+
+let collector_name (c : collector) : string =
+  match c with
+  | Mark_sweep -> "MS"
+  | Immix -> "IX"
+  | Sticky_ms -> "S-MS"
+  | Sticky_immix -> "S-IX"
+
+let dist_name (d : failure_dist) : string =
+  match d with
+  | Uniform -> "uniform"
+  | Granule n -> Printf.sprintf "granule-%dB" (n * Holes_pcm.Geometry.line_bytes)
+  | Hw_cluster pages -> Printf.sprintf "%dCL" pages
+
+let name (t : t) : string =
+  let base = collector_name t.collector in
+  let base = if t.arraylets then base ^ "-zray" else base in
+  let line = Printf.sprintf "L%d" t.line_size in
+  if t.failure_rate = 0.0 then Printf.sprintf "%s-%s" base line
+  else
+    Printf.sprintf "%s-PCM-%s-%s-%.0f%%%s" base line (dist_name t.failure_dist)
+      (t.failure_rate *. 100.0)
+      (if t.compensate then "" else "-nocomp")
+
+let is_generational (c : collector) : bool =
+  match c with Sticky_ms | Sticky_immix -> true | Mark_sweep | Immix -> false
+
+let is_immix (c : collector) : bool =
+  match c with Immix | Sticky_immix -> true | Mark_sweep | Sticky_ms -> false
+
+let validate (t : t) : (unit, string) result =
+  if not (Holes_heap.Units.valid_line_size t.line_size) then
+    Error (Printf.sprintf "invalid Immix line size %d" t.line_size)
+  else if t.failure_rate < 0.0 || t.failure_rate > 0.95 then
+    Error "failure rate must be in [0, 0.95]"
+  else if t.heap_factor < 1.0 then Error "heap factor must be >= 1"
+  else Ok ()

@@ -1,0 +1,768 @@
+(** Failure-aware Immix and Sticky Immix (paper Secs. 4.1–4.2).
+
+    Immix manages memory as 32 KB blocks of logical lines.  A bump
+    pointer allocates into contiguous runs of free lines and *skips over
+    unavailable lines* — which is precisely why failure awareness is a
+    minimal extension: failed lines are a fourth line state that the
+    allocator skips exactly like live lines.  Medium objects (larger than
+    a line) that do not fit the current run go to a dedicated overflow
+    block; the failure-aware version searches the remainder of the
+    overflow block and only then falls back to requesting a perfect
+    block.  Sticky Immix adds generational behaviour via sticky mark
+    bits: objects allocated since the last collection form the logical
+    nursery, collected from the remembered set without touching old
+    objects.  Dynamic failures reuse the defragmentation machinery:
+    affected blocks are flagged and their live objects evacuated by a
+    full collection. *)
+
+open Holes_stdx
+open Holes_heap
+
+exception Out_of_memory = Oom.Out_of_memory
+
+type t = {
+  cfg : Config.t;
+  cost : Cost.t;
+  metrics : Metrics.t;
+  stock : Page_stock.t;
+  objects : Object_table.t;
+  los : Los.t;
+  blocks : (int, Block.t) Hashtbl.t;  (** block index -> block *)
+  mutable next_block_index : int;
+  mutable recyclable : int list;  (** block indices with free lines, address order *)
+  (* bump-pointer state: main cursor *)
+  mutable cur_block : int;  (** -1 = none *)
+  mutable cursor : int;
+  mutable limit : int;
+  (* overflow allocation state *)
+  mutable ovf_block : int;
+  mutable ovf_cursor : int;
+  mutable ovf_limit : int;
+  (* generational state *)
+  remset : Remset.t;
+  nursery : Intvec.t;
+  mutable want_full : bool;  (** last nursery collection yielded too little *)
+  mutable defrag_requested : bool;
+      (** defragment at the next full collection (Immix defragments on
+          demand: set by allocation failures and dynamic failures) *)
+}
+
+let block_bytes = Units.block_bytes
+
+let create ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics : Metrics.t) ~(stock : Page_stock.t)
+    ~(objects : Object_table.t) ~(los : Los.t) : t =
+  let t =
+    {
+    cfg;
+    cost;
+    metrics;
+    stock;
+    objects;
+    los;
+    blocks = Hashtbl.create 256;
+    next_block_index = 0;
+    recyclable = [];
+    cur_block = -1;
+    cursor = 0;
+    limit = 0;
+    ovf_block = -1;
+    ovf_cursor = 0;
+    ovf_limit = 0;
+      remset = Remset.create ();
+      nursery = Intvec.create ();
+      want_full = false;
+      defrag_requested = false;
+    }
+  in
+  (* the "has sufficient memory" test for DRAM borrowing must see the
+     free lines held inside partially used blocks, not just free stock
+     pages *)
+  Page_stock.set_extra_free stock (fun () ->
+      Hashtbl.fold (fun _ b acc -> acc + Block.free_bytes b) t.blocks 0);
+  t
+
+let weights (t : t) : Cost.weights = t.cost.Cost.weights
+
+let block (t : t) (index : int) : Block.t = Hashtbl.find t.blocks index
+
+let block_of_addr (t : t) (addr : int) : Block.t = block t (addr / block_bytes)
+
+let is_medium (t : t) ~(size : int) : bool = size > t.cfg.Config.line_size
+
+(* ------------------------------------------------------------------ *)
+(* Block acquisition                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Install a block built from [pages] (stock ids; -1 = borrowed DRAM). *)
+let install_block (t : t) ~(pages : int array) : int =
+  let w = weights t in
+  let index = t.next_block_index in
+  t.next_block_index <- t.next_block_index + 1;
+  let empty_bitmap = Bitset.create Holes_pcm.Geometry.lines_per_page in
+  let b =
+    Block.create ~index ~base:(index * block_bytes) ~line_size:t.cfg.Config.line_size ~pages
+      ~page_bitmap:(fun id ->
+        if id = -1 then empty_bitmap else (Page_stock.page t.stock id).Page_stock.bitmap)
+  in
+  Hashtbl.replace t.blocks index b;
+  Cost.charge t.cost w.Cost.block_assemble;
+  t.metrics.Metrics.blocks_assembled <- t.metrics.Metrics.blocks_assembled + 1;
+  index
+
+(* Assemble a fresh block from eight relaxed stock pages.  Returns the
+   block index, or None when the stock cannot supply a block. *)
+let assemble_block (t : t) : int option =
+  let pages = Array.make Units.pages_per_block (-2) in
+  let rec take i =
+    if i = Units.pages_per_block then true
+    else
+      match Page_stock.take_relaxed t.stock with
+      | Some p ->
+          pages.(i) <- p;
+          take (i + 1)
+      | None ->
+          (* roll back *)
+          for j = 0 to i - 1 do
+            Page_stock.return_page t.stock pages.(j)
+          done;
+          false
+  in
+  if not (take 0) then None else Some (install_block t ~pages)
+
+(* Assemble a perfect block for the overflow fallback: eight perfect
+   pages, borrowing DRAM where the perfect pool is dry (Sec. 3.3.3).
+   None when both the perfect pool and the borrow budget are exhausted. *)
+let assemble_perfect_block (t : t) : int option =
+  let w = weights t in
+  let pages = Array.make Units.pages_per_block (-2) in
+  let rec take i =
+    if i = Units.pages_per_block then true
+    else begin
+      Cost.charge t.cost w.Cost.perfect_request;
+      match Page_stock.take_perfect t.stock with
+      | Page_stock.Perfect id ->
+          pages.(i) <- id;
+          take (i + 1)
+      | Page_stock.Borrowed ->
+          Cost.charge t.cost w.Cost.dram_borrow;
+          pages.(i) <- -1;
+          take (i + 1)
+      | Page_stock.Exhausted ->
+          for j = 0 to i - 1 do
+            if pages.(j) = -1 then Page_stock.return_borrowed t.stock
+            else Page_stock.return_page t.stock pages.(j)
+          done;
+          false
+    end
+  in
+  if not (take 0) then None else Some (install_block t ~pages)
+
+(* Dissolve a completely free block, returning its pages to the stock. *)
+let dissolve_block (t : t) (b : Block.t) : unit =
+  Array.iter
+    (fun id -> if id = -1 then Page_stock.return_borrowed t.stock else Page_stock.return_page t.stock id)
+    b.Block.pages;
+  Hashtbl.remove t.blocks b.Block.index
+
+(* ------------------------------------------------------------------ *)
+(* Bump allocation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let charge_alloc (t : t) ~(size : int) : unit =
+  let w = weights t in
+  Cost.charge t.cost (w.Cost.alloc_fast +. (w.Cost.alloc_byte *. float_of_int size))
+
+(* Place an object at the main cursor (caller guarantees fit). *)
+let place_at_cursor (t : t) ~(size : int) : int =
+  let addr = t.cursor in
+  t.cursor <- t.cursor + size;
+  let b = block t t.cur_block in
+  Block.add_object_lines b ~addr ~size;
+  charge_alloc t ~size;
+  addr
+
+let place_at_ovf (t : t) ~(size : int) : int =
+  let addr = t.ovf_cursor in
+  t.ovf_cursor <- t.ovf_cursor + size;
+  let b = block t t.ovf_block in
+  Block.add_object_lines b ~addr ~size;
+  charge_alloc t ~size;
+  addr
+
+(* Point the main cursor at a hole of [b]; true on success. *)
+let set_cursor_to_hole (t : t) (b : Block.t) ~(from_line : int) ~(min_bytes : int) : bool =
+  match Block.find_hole b ~from_line ~min_bytes with
+  | None -> false
+  | Some (s, e, examined) ->
+      let w = weights t in
+      Cost.charge t.cost (w.Cost.line_scan *. float_of_int examined);
+      t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
+      t.cur_block <- b.Block.index;
+      t.cursor <- b.Block.base + (s * b.Block.line_size);
+      t.limit <- b.Block.base + (e * b.Block.line_size);
+      true
+
+(* Small-object allocation without triggering collection.  Returns the
+   address or None (heap exhausted at this instant). *)
+let rec alloc_small_nogc (t : t) ~(size : int) : int option =
+  if t.cur_block >= 0 && t.cursor + size <= t.limit then Some (place_at_cursor t ~size)
+  else begin
+    let w = weights t in
+    (* advance to the next hole in the current block *)
+    let advanced =
+      t.cur_block >= 0
+      &&
+      let b = block t t.cur_block in
+      let from_line = (t.limit - b.Block.base) / b.Block.line_size in
+      let ok = set_cursor_to_hole t b ~from_line ~min_bytes:size in
+      if ok then begin
+        Cost.charge t.cost w.Cost.hole_skip;
+        t.metrics.Metrics.hole_skips <- t.metrics.Metrics.hole_skips + 1
+      end;
+      ok
+    in
+    if advanced then Some (place_at_cursor t ~size)
+    else begin
+      (* recycled blocks first (Immix allocation order, Sec. 4.1) *)
+      let rec try_recyclable () =
+        match t.recyclable with
+        | [] -> false
+        | bi :: rest ->
+            t.recyclable <- rest;
+            let b = block t bi in
+            b.Block.recyclable <- false;
+            Cost.charge t.cost w.Cost.block_open;
+            if set_cursor_to_hole t b ~from_line:0 ~min_bytes:size then true else try_recyclable ()
+      in
+      if try_recyclable () then Some (place_at_cursor t ~size)
+      else
+        (* then completely free blocks from the global pool *)
+        match assemble_block t with
+        | None -> None
+        | Some bi ->
+            Cost.charge t.cost w.Cost.block_open;
+            let b = block t bi in
+            if set_cursor_to_hole t b ~from_line:0 ~min_bytes:size then
+              Some (place_at_cursor t ~size)
+            else begin
+              (* an extremely damaged block can lack any usable hole;
+                 return its pages immediately and try the next one *)
+              dissolve_block t b;
+              alloc_small_nogc t ~size
+            end
+    end
+  end
+
+(* Medium-object overflow allocation (Sec. 4.1 "overflow allocation",
+   failure-aware re-search per Sec. 4.2). *)
+type medium_result =
+  | Placed of int
+  | Needs_gc  (** memory genuinely exhausted: collect and retry *)
+  | Needs_perfect
+      (** free memory exists but is too fragmented for this object:
+          request a perfect block (no collection would change the static
+          holes) *)
+
+let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
+  let w = weights t in
+  (* fits the current bump run? then no overflow needed *)
+  if t.cur_block >= 0 && t.cursor + size <= t.limit then Placed (place_at_cursor t ~size)
+  else begin
+    t.metrics.Metrics.overflow_allocs <- t.metrics.Metrics.overflow_allocs + 1;
+    if t.ovf_block >= 0 && t.ovf_cursor + size <= t.ovf_limit then Placed (place_at_ovf t ~size)
+    else begin
+      (* failure-aware change: search the remainder of the overflow block
+         for a suitably sized hole before giving up on it *)
+      let search_ovf () =
+        t.ovf_block >= 0
+        &&
+        let b = block t t.ovf_block in
+        t.metrics.Metrics.overflow_searches <- t.metrics.Metrics.overflow_searches + 1;
+        match Block.find_hole b ~from_line:0 ~min_bytes:size with
+        | None -> false
+        | Some (s, e, examined) ->
+            Cost.charge t.cost
+              (w.Cost.hole_skip +. (w.Cost.line_scan *. float_of_int examined));
+            t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
+            t.metrics.Metrics.hole_skips <- t.metrics.Metrics.hole_skips + 1;
+            t.ovf_cursor <- b.Block.base + (s * b.Block.line_size);
+            t.ovf_limit <- b.Block.base + (e * b.Block.line_size);
+            true
+      in
+      if search_ovf () then Placed (place_at_ovf t ~size)
+      else
+        match assemble_block t with
+        | Some bi -> (
+            Cost.charge t.cost w.Cost.block_open;
+            let b = block t bi in
+            match Block.find_hole b ~from_line:0 ~min_bytes:size with
+            | Some (s, e, examined) ->
+                Cost.charge t.cost (w.Cost.line_scan *. float_of_int examined);
+                t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
+                t.ovf_block <- bi;
+                t.ovf_cursor <- b.Block.base + (s * b.Block.line_size);
+                t.ovf_limit <- b.Block.base + (e * b.Block.line_size);
+                Placed (place_at_ovf t ~size)
+            | None ->
+                (* even a completely fresh block has no big-enough hole:
+                   the *static* failure pattern, not garbage, is the
+                   obstacle.  A collection cannot help; hand the block's
+                   pages back and request a perfect block. *)
+                dissolve_block t b;
+                Needs_perfect)
+        | None -> Needs_gc
+    end
+  end
+
+(* Perfect-block fallback for medium objects that cannot be placed in
+   imperfect memory (Sec. 3.3.3 / 4.2).  None when the perfect pool and
+   the DRAM borrow budget are both exhausted (caller collects/fails). *)
+let alloc_medium_perfect (t : t) ~(size : int) : int option =
+  t.metrics.Metrics.perfect_block_fallbacks <- t.metrics.Metrics.perfect_block_fallbacks + 1;
+  match assemble_perfect_block t with
+  | None -> None
+  | Some bi ->
+      Cost.charge t.cost (weights t).Cost.block_open;
+      t.ovf_block <- bi;
+      let b = block t bi in
+      t.ovf_cursor <- b.Block.base;
+      t.ovf_limit <- b.Block.base + block_bytes;
+      Some (place_at_ovf t ~size)
+
+(* Allocation attempt without collection, dispatching on size class.
+   Used by evacuation and nursery copying, which must neither recurse
+   into a collection nor consume perfect blocks. *)
+let alloc_nogc (t : t) ~(size : int) : int option =
+  if is_medium t ~size then
+    match alloc_medium_nogc t ~size with
+    | Placed a -> Some a
+    | Needs_gc | Needs_perfect -> None
+  else alloc_small_nogc t ~size
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let total_free_bytes (t : t) : int =
+  let blocks_free = Hashtbl.fold (fun _ b acc -> acc + Block.free_bytes b) t.blocks 0 in
+  Page_stock.free_usable_bytes t.stock + blocks_free
+
+let reset_cursors (t : t) : unit =
+  t.cur_block <- -1;
+  t.cursor <- 0;
+  t.limit <- 0;
+  t.ovf_block <- -1;
+  t.ovf_cursor <- 0;
+  t.ovf_limit <- 0
+
+(* Rebuild the recyclable list: every block with free lines, in address
+   order (excluding [except]). *)
+let rebuild_recyclable (t : t) ~(except : Block.t -> bool) : unit =
+  let w = weights t in
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _ b ->
+      Cost.charge t.cost (w.Cost.sweep_line *. float_of_int b.Block.nlines);
+      b.Block.recyclable <- false;
+      if b.Block.free_lines > 0 && (not (except b)) && b.Block.index <> t.cur_block
+         && b.Block.index <> t.ovf_block
+      then acc := b.Block.index :: !acc)
+    t.blocks;
+  let sorted = List.sort compare !acc in
+  List.iter (fun bi -> (block t bi).Block.recyclable <- true) sorted;
+  t.recyclable <- sorted
+
+(* Evacuate the live, unpinned objects of [b] using the normal allocator
+   (no collection recursion).  Evacuation is opportunistic, as in Immix:
+   an object that cannot be placed right now (e.g. a medium object with
+   no overflow space) simply stays where it is.  Returns the number of
+   objects left behind. *)
+let evacuate_block (t : t) (b : Block.t) : int =
+  let w = weights t in
+  let left = ref 0 in
+  let ids = Intvec.to_list b.Block.objs in
+  List.iter
+    (fun id ->
+      if Object_table.is_alive t.objects id && (not (Object_table.is_pinned t.objects id))
+         && not (Object_table.is_los t.objects id)
+      then begin
+        let addr = Object_table.addr t.objects id in
+        if addr / block_bytes = b.Block.index then begin
+          let size = Object_table.size t.objects id in
+          match alloc_nogc t ~size with
+          | None -> incr left
+          | Some new_addr ->
+              Block.remove_object_lines b ~addr ~size;
+              Object_table.relocate t.objects id ~new_addr;
+              (block_of_addr t new_addr).Block.objs |> fun v -> Intvec.push v id;
+              Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+              t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size;
+              t.metrics.Metrics.objects_evacuated <- t.metrics.Metrics.objects_evacuated + 1
+        end
+      end)
+    ids;
+  b.Block.evacuate <- false;
+  !left
+
+(** A full-heap collection: trace all live objects, rebuild line marks,
+    reclaim dead objects (Immix + LOS), dissolve empty blocks, then
+    optionally defragment sparse or failure-hit blocks by evacuation. *)
+let full_gc (t : t) : unit =
+  let w = weights t in
+  Cost.begin_gc t.cost;
+  Cost.charge t.cost w.Cost.gc_fixed;
+  reset_cursors t;
+  Hashtbl.iter (fun _ b -> Block.clear_marks b) t.blocks;
+  (* trace live objects; reclaim dead ones *)
+  Object_table.iter_slots t.objects (fun id ->
+      if Object_table.is_alive t.objects id then begin
+        let nrefs = List.length (Object_table.refs t.objects id) in
+        Cost.charge t.cost (w.Cost.mark_obj +. (w.Cost.mark_edge *. float_of_int nrefs));
+        let addr = Object_table.addr t.objects id in
+        if not (Object_table.is_los t.objects id) then begin
+          let b = block_of_addr t addr in
+          Block.add_object_lines b ~addr ~size:(Object_table.size t.objects id);
+          Intvec.push b.Block.objs id
+        end;
+        Object_table.clear_nursery_flag t.objects id
+      end
+      else begin
+        if Object_table.is_los t.objects id then
+          Los.free t.los ~addr:(Object_table.addr t.objects id);
+        Object_table.release t.objects id
+      end);
+  (* sweep: dissolve empty blocks *)
+  let empties = ref [] in
+  Hashtbl.iter (fun _ b -> if Block.is_empty b then empties := b :: !empties) t.blocks;
+  List.iter (dissolve_block t) !empties;
+  (* defragmentation / dynamic-failure evacuation: blocks flagged by a
+     dynamic failure are always evacuated; sparse blocks additionally
+     when defragmentation is enabled *)
+  let flagged = ref [] and sparse = ref [] in
+  (* On-demand defragmentation consolidates much more aggressively than
+     the steady-state threshold: it exists to turn scattered free lines
+     back into whole free pages (for the LOS and overflow fallback). *)
+  let threshold =
+    if t.defrag_requested then Float.max t.cfg.Config.defrag_occupancy 0.90
+    else t.cfg.Config.defrag_occupancy
+  in
+  Hashtbl.iter
+    (fun _ b ->
+      let usable = b.Block.nlines - b.Block.failed_lines in
+      if usable > 0 then begin
+        let live_lines = usable - b.Block.free_lines in
+        let ratio = float_of_int live_lines /. float_of_int usable in
+        if b.Block.evacuate then flagged := b :: !flagged
+        else if t.cfg.Config.defrag && t.defrag_requested && ratio > 0.0 && ratio < threshold
+        then sparse := (ratio, b) :: !sparse
+      end)
+    t.blocks;
+  (* When most blocks are sparse (common under heavy failures), all of
+     them would be candidates and evacuation would have no destination.
+     Evacuate the sparsest half into the denser half: consolidation
+     still converges, and destinations always exist. *)
+  (if Sys.getenv_opt "HOLES_DEBUG_DEFRAG" <> None then
+     Printf.eprintf "[defrag] requested=%b flagged=%d sparse=%d blocks=%d\n%!"
+       t.defrag_requested (List.length !flagged) (List.length !sparse)
+       (Hashtbl.length t.blocks));
+  let sparse_sorted = List.sort (fun (a, _) (b, _) -> compare a b) !sparse in
+  let n_sparse = List.length sparse_sorted in
+  let evacuated =
+    List.filteri (fun i _ -> i <= n_sparse / 2) sparse_sorted |> List.map snd
+  in
+  let candidates = ref (!flagged @ evacuated) in
+  if !candidates <> [] then begin
+    let is_candidate =
+      let set = Hashtbl.create 16 in
+      List.iter (fun b -> Hashtbl.replace set b.Block.index ()) !candidates;
+      fun (b : Block.t) -> Hashtbl.mem set b.Block.index
+    in
+    rebuild_recyclable t ~except:is_candidate;
+    let left_behind = ref 0 in
+    List.iter (fun b -> left_behind := !left_behind + evacuate_block t b) !candidates;
+    (* dissolve blocks the evacuation emptied *)
+    let empties = ref [] in
+    Hashtbl.iter (fun _ b -> if Block.is_empty b && b.Block.index <> t.cur_block
+                              && b.Block.index <> t.ovf_block then empties := b :: !empties)
+      t.blocks;
+    (if Sys.getenv_opt "HOLES_DEBUG_DEFRAG" <> None then
+       Printf.eprintf "[defrag] evac done left=%d dissolved=%d evacuated=%d\n%!" !left_behind
+         (List.length !empties) t.metrics.Metrics.objects_evacuated);
+    List.iter (dissolve_block t) !empties
+  end;
+  rebuild_recyclable t ~except:(fun _ -> false);
+  Intvec.clear t.nursery;
+  Remset.clear t.remset;
+  t.want_full <- false;
+  t.defrag_requested <- false;
+  let pause = Cost.end_gc t.cost in
+  t.metrics.Metrics.full_gcs <- t.metrics.Metrics.full_gcs + 1;
+  t.metrics.Metrics.pauses_ns <- pause :: t.metrics.Metrics.pauses_ns;
+  let live = Object_table.live_bytes t.objects in
+  if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live
+
+(** A nursery (sticky mark bits) collection: only objects allocated since
+    the last collection are examined; survivors are opportunistically
+    copied into available holes (Sec. 4.1 "Sticky Immix"). *)
+let nursery_gc (t : t) : unit =
+  let w = weights t in
+  Cost.begin_gc t.cost;
+  Cost.charge t.cost w.Cost.gc_nursery_fixed;
+  let free_before = total_free_bytes t in
+  Cost.charge t.cost (w.Cost.remset_entry *. float_of_int (Remset.size t.remset));
+  Remset.clear t.remset;
+  Intvec.iter t.nursery (fun id ->
+      if not (Object_table.is_alive t.objects id) then begin
+        let addr = Object_table.addr t.objects id in
+        if addr >= 0 then begin
+          if Object_table.is_los t.objects id then Los.free t.los ~addr
+          else
+            Block.remove_object_lines (block_of_addr t addr) ~addr
+              ~size:(Object_table.size t.objects id);
+          Object_table.release t.objects id
+        end
+      end
+      else begin
+        let size = Object_table.size t.objects id in
+        let nrefs = List.length (Object_table.refs t.objects id) in
+        Cost.charge t.cost (w.Cost.mark_obj +. (w.Cost.mark_edge *. float_of_int nrefs));
+        (if t.cfg.Config.nursery_copy && (not (Object_table.is_pinned t.objects id))
+            && not (Object_table.is_los t.objects id)
+         then
+           let addr = Object_table.addr t.objects id in
+           match alloc_nogc t ~size with
+           | None -> ()
+           | Some new_addr ->
+               Block.remove_object_lines (block_of_addr t addr) ~addr ~size;
+               Object_table.relocate t.objects id ~new_addr;
+               Intvec.push (block_of_addr t new_addr).Block.objs id;
+               Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+               t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size);
+        Object_table.clear_nursery_flag t.objects id
+      end);
+  Intvec.clear t.nursery;
+  (* dissolve empty blocks and refresh the recycled list *)
+  let empties = ref [] in
+  Hashtbl.iter
+    (fun _ b ->
+      if Block.is_empty b && b.Block.index <> t.cur_block && b.Block.index <> t.ovf_block then
+        empties := b :: !empties)
+    t.blocks;
+  List.iter (dissolve_block t) !empties;
+  rebuild_recyclable t ~except:(fun _ -> false);
+  let freed = total_free_bytes t - free_before in
+  let heap_bytes = Page_stock.npages t.stock * Holes_pcm.Geometry.page_bytes in
+  if float_of_int freed < 0.12 *. float_of_int heap_bytes then t.want_full <- true;
+  let pause = Cost.end_gc t.cost in
+  t.metrics.Metrics.nursery_gcs <- t.metrics.Metrics.nursery_gcs + 1;
+  t.metrics.Metrics.nursery_pauses_ns <- pause :: t.metrics.Metrics.nursery_pauses_ns;
+  let live = Object_table.live_bytes t.objects in
+  if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live
+
+(* ------------------------------------------------------------------ *)
+(* Public mutator interface                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Allocate [size] bytes (pre-alignment) with the collection-retry
+    ladder: nursery collection (sticky), then full collection, then the
+    perfect-block fallback for medium objects; raises [Out_of_memory]
+    when all fail. *)
+let alloc (t : t) ~(size : int) : int =
+  let size = Units.aligned_size size in
+  let generational = Config.is_generational t.cfg.Config.collector in
+  let alloc_once () : medium_result =
+    if is_medium t ~size then alloc_medium_nogc t ~size
+    else match alloc_small_nogc t ~size with Some a -> Placed a | None -> Needs_gc
+  in
+  let oom () =
+    t.metrics.Metrics.out_of_memory <- true;
+    t.metrics.Metrics.oom_request <- size;
+    raise Out_of_memory
+  in
+  let rec attempt (n : int) : int =
+    match alloc_once () with
+    | Placed addr -> addr
+    | Needs_perfect -> (
+        (* static fragmentation, not garbage: go straight to a perfect
+           block (Sec. 4.2); escalate to collection only if even the
+           perfect grant is exhausted *)
+        match alloc_medium_perfect t ~size with
+        | Some addr -> addr
+        | None -> escalate n)
+    | Needs_gc -> escalate n
+  and escalate (n : int) : int =
+    (* a medium that could not be placed signals fragmentation: ask the
+       next full collection to defragment *)
+    if is_medium t ~size then t.defrag_requested <- true;
+    if n = 0 && generational && not t.want_full then begin
+      nursery_gc t;
+      attempt 1
+    end
+    else if n <= 1 then begin
+      full_gc t;
+      attempt 2
+    end
+    else if is_medium t ~size then
+      match alloc_medium_perfect t ~size with Some addr -> addr | None -> oom ()
+    else oom ()
+  in
+  attempt 0
+
+(** Register a freshly allocated object id with its block and the
+    nursery. *)
+let register (t : t) ~(id : int) ~(addr : int) : unit =
+  if not (Los.is_los_addr addr) then Intvec.push (block_of_addr t addr).Block.objs id;
+  Intvec.push t.nursery id
+
+(** The generational write barrier: [src] (an old object) now references
+    a nursery object. *)
+let write_barrier (t : t) ~(src : int) : unit =
+  Cost.charge t.cost (weights t).Cost.write_barrier;
+  if Config.is_generational t.cfg.Config.collector && not (Object_table.is_nursery t.objects src)
+  then ignore (Remset.record t.remset ~src)
+
+(** Handle a dynamic line failure at byte address [addr] (Sec. 4.2).
+
+    The affected block is flagged for evacuation and a full (copying)
+    collection relocates any objects that overlap the failing line; only
+    then is the logical line marked failed — the failure buffer holds the
+    data in the interim, so no information is lost.  A pinned object on
+    the failing line cannot move: the OS instead remaps the page to a
+    perfect page (Sec. 3.3.3 "Pinning support"), so the software-visible
+    line never fails; we charge the page copy and a perfect-page grant.
+    Dynamic failures also update the backing page's bitmap in the stock,
+    so a reassembled block later sees the hole. *)
+let rec dynamic_failure (t : t) ~(addr : int) : unit =
+  t.metrics.Metrics.dynamic_failures <- t.metrics.Metrics.dynamic_failures + 1;
+  let bi = addr / block_bytes in
+  match Hashtbl.find_opt t.blocks bi with
+  | None ->
+      (* the address is not backed by an assembled block (stale address
+         or dissolved block): nothing lives there, only OS bookkeeping
+         would apply *)
+      ()
+  | Some b -> dynamic_failure_in_block t ~addr ~bi ~b
+
+and dynamic_failure_in_block (t : t) ~(addr : int) ~(bi : int) ~(b : Block.t) : unit =
+  let w = weights t in
+  let line = Block.line_of_offset b (addr - b.Block.base) in
+  let line_lo = b.Block.base + (line * b.Block.line_size) in
+  let line_hi = line_lo + b.Block.line_size in
+  (* close bump cursors whose run overlaps the failing line *)
+  let overlaps_cursor ~(cur_block : int) ~(cursor : int) ~(limit : int) =
+    cur_block = bi && cursor < line_hi && line_lo < limit
+  in
+  if overlaps_cursor ~cur_block:t.cur_block ~cursor:t.cursor ~limit:t.limit then begin
+    t.cur_block <- -1;
+    t.cursor <- 0;
+    t.limit <- 0
+  end;
+  if overlaps_cursor ~cur_block:t.ovf_block ~cursor:t.ovf_cursor ~limit:t.ovf_limit then begin
+    t.ovf_block <- -1;
+    t.ovf_cursor <- 0;
+    t.ovf_limit <- 0
+  end;
+  (* objects overlapping the failing line; dead-but-uncollected objects
+     also hold the line until a collection reclaims them *)
+  let overlapping ~(alive_only : bool) =
+    let acc = ref [] in
+    Intvec.iter b.Block.objs (fun id ->
+        if ((not alive_only) || Object_table.is_alive t.objects id)
+           && Object_table.addr t.objects id >= 0
+           && not (Object_table.is_los t.objects id)
+        then begin
+          let oa = Object_table.addr t.objects id in
+          let oe = oa + Object_table.size t.objects id in
+          if oa / block_bytes = bi && oa < line_hi && line_lo < oe then acc := id :: !acc
+        end);
+    !acc
+  in
+  let affected = overlapping ~alive_only:false in
+  let pinned =
+    List.filter
+      (fun id -> Object_table.is_alive t.objects id && Object_table.is_pinned t.objects id)
+      affected
+  in
+  if pinned <> [] then begin
+    (* OS masks the failure: copy the page to a perfect page and remap *)
+    Cost.charge t.cost
+      (w.Cost.perfect_request +. w.Cost.dram_borrow
+      +. (w.Cost.copy_byte *. float_of_int Holes_pcm.Geometry.page_bytes));
+    t.metrics.Metrics.bytes_copied <-
+      t.metrics.Metrics.bytes_copied + Holes_pcm.Geometry.page_bytes
+  end
+  else begin
+    (if affected <> [] then begin
+       b.Block.evacuate <- true;
+       full_gc t
+     end);
+    (* the block may have been dissolved by the collection *)
+    (match Hashtbl.find_opt t.blocks bi with
+    | None -> ()
+    | Some b -> (
+        if overlapping ~alive_only:true <> [] then begin
+          (* evacuation could not find space: the heap is full *)
+          t.metrics.Metrics.out_of_memory <- true;
+          raise Out_of_memory
+        end;
+        match Block.fail_line b ~line with
+        | `Already_failed | `Was_free -> ()
+        | `Was_live -> assert false));
+    (* persist the hole on the backing page (64 B PCM granularity) *)
+    let off = addr - b.Block.base in
+    let page_idx = off / Holes_pcm.Geometry.page_bytes in
+    let page_id = b.Block.pages.(page_idx) in
+    if page_id >= 0 then
+      Page_stock.mark_line_failed t.stock ~id:page_id
+        ~line:(off mod Holes_pcm.Geometry.page_bytes / Holes_pcm.Geometry.line_bytes)
+  end
+
+(** Request defragmentation at the next full collection (used by the
+    VM when the LOS runs short of pages: consolidation dissolves sparse
+    blocks back into stock pages). *)
+let request_defrag (t : t) : unit = t.defrag_requested <- true
+
+(** Force a collection (used by the VM's LOS retry path). *)
+let collect (t : t) ~(full : bool) : unit = if full then full_gc t else nursery_gc t
+
+let live_blocks (t : t) : int = Hashtbl.length t.blocks
+
+(** Invariant checks (valid at any point, not just after a collection):
+    no *live* object overlaps a failed line, and per-line live counts
+    match the object table exactly — dead objects awaiting collection
+    legitimately still hold their lines. *)
+let check_invariants (t : t) : (unit, string) result =
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  (* recompute per-line expected counts over every uncollected object *)
+  let expected : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun i b -> Hashtbl.replace expected i (Array.make b.Block.nlines 0))
+    t.blocks;
+  Object_table.iter_slots t.objects (fun id ->
+      if not (Object_table.is_los t.objects id) then begin
+        let alive = Object_table.is_alive t.objects id in
+        let addr = Object_table.addr t.objects id in
+        let size = Object_table.size t.objects id in
+        match Hashtbl.find_opt t.blocks (addr / block_bytes) with
+        | None -> if alive then fail (Printf.sprintf "object %d at %d not in any block" id addr)
+        | Some b ->
+            let lo, hi = Block.lines_of_object b ~addr ~size in
+            for l = lo to hi do
+              if alive && Block.is_failed_line b l then
+                fail (Printf.sprintf "object %d overlaps failed line %d of block %d" id l b.Block.index);
+              (Hashtbl.find expected b.Block.index).(l) <-
+                (Hashtbl.find expected b.Block.index).(l) + 1
+            done
+      end);
+  Hashtbl.iter
+    (fun i b ->
+      let exp = Hashtbl.find expected i in
+      for l = 0 to b.Block.nlines - 1 do
+        if b.Block.live.(l) <> exp.(l) then
+          fail
+            (Printf.sprintf "block %d line %d: live count %d, expected %d" i l b.Block.live.(l)
+               exp.(l))
+      done)
+    t.blocks;
+  match !err with None -> Ok () | Some m -> Error m

@@ -1,0 +1,112 @@
+(** The large object space (paper Secs. 3.3.3 and 4.1).
+
+    Objects above the LOS threshold (8 KB) are allocated page-grained and
+    contiguous, so they cannot skip over holes: the LOS is a *fussy*
+    allocator that demands perfect pages.  When the perfect pool is dry
+    it borrows DRAM pages through the debit–credit accounting
+    (Sec. 5); two-page hardware clustering keeps this rare by
+    manufacturing logically perfect pages (Sec. 6.4, Fig. 9(b)). *)
+
+open Holes_heap
+
+type entry = {
+  pages : int list;  (** page-stock ids backing the object; -1 = borrowed DRAM *)
+  bytes : int;
+}
+
+type t = {
+  stock : Page_stock.t;
+  cost : Cost.t;
+  metrics : Metrics.t;
+  entries : (int, entry) Hashtbl.t;  (** object id -> backing pages *)
+  mutable next_addr : int;
+  mutable pages_in_use : int;
+}
+
+(** LOS addresses live in their own range so [Vm] can distinguish them
+    from Immix block addresses. *)
+let address_base = 1 lsl 40
+
+let create ~(stock : Page_stock.t) ~(cost : Cost.t) ~(metrics : Metrics.t) : t =
+  {
+    stock;
+    cost;
+    metrics;
+    entries = Hashtbl.create 64;
+    next_addr = address_base;
+    pages_in_use = 0;
+  }
+
+let is_los_addr (addr : int) : bool = addr >= address_base
+
+let pages_needed (size : int) : int =
+  (size + Holes_pcm.Geometry.page_bytes - 1) / Holes_pcm.Geometry.page_bytes
+
+(** Would allocating [size] bytes stay within the heap budget?  The LOS
+    only proceeds when the stock could cover the request (otherwise the
+    caller must collect first); the perfect/borrowed distinction is then
+    resolved page by page. *)
+let can_allocate (t : t) ~(size : int) : bool =
+  let npages = pages_needed size in
+  Page_stock.free_pages t.stock >= npages
+
+(** Allocate [size] bytes page-grained.  The caller must have ensured
+    {!can_allocate}; pages are drawn perfect-first, with DRAM borrowing
+    as a *bounded* fallback (DRAM is scarce).  Returns the fresh LOS
+    address, or [None] when the perfect pool and the borrow budget are
+    both exhausted — the caller should collect and retry. *)
+let alloc (t : t) ~(size : int) : int option =
+  let w = t.cost.Cost.weights in
+  let npages = pages_needed size in
+  let pages = ref [] in
+  let exhausted = ref false in
+  for _ = 1 to npages do
+    if not !exhausted then begin
+      Cost.charge t.cost w.Cost.perfect_request;
+      match Page_stock.take_perfect t.stock with
+      | Page_stock.Perfect id -> pages := id :: !pages
+      | Page_stock.Borrowed ->
+          Cost.charge t.cost w.Cost.dram_borrow;
+          pages := -1 :: !pages
+      | Page_stock.Exhausted -> exhausted := true
+    end
+  done;
+  if !exhausted then begin
+    (* roll back the pages already taken *)
+    List.iter
+      (fun id ->
+        if id = -1 then Page_stock.return_borrowed t.stock else Page_stock.return_page t.stock id)
+      !pages;
+    None
+  end
+  else begin
+    Cost.charge t.cost (w.Cost.los_page *. float_of_int npages);
+    let addr = t.next_addr in
+    t.next_addr <- t.next_addr + (npages * Holes_pcm.Geometry.page_bytes);
+    t.pages_in_use <- t.pages_in_use + npages;
+    t.metrics.Metrics.los_objects <- t.metrics.Metrics.los_objects + 1;
+    t.metrics.Metrics.los_pages <- t.metrics.Metrics.los_pages + npages;
+    (* keyed by address until the object id is known *)
+    Hashtbl.replace t.entries addr { pages = !pages; bytes = size };
+    Some addr
+  end
+
+(** Release the LOS allocation at [addr], returning its pages. *)
+let free (t : t) ~(addr : int) : unit =
+  match Hashtbl.find_opt t.entries addr with
+  | None -> invalid_arg "Los.free: unknown LOS address"
+  | Some e ->
+      let w = t.cost.Cost.weights in
+      Cost.charge t.cost (w.Cost.los_page *. float_of_int (List.length e.pages));
+      List.iter
+        (fun id ->
+          if id = -1 then Page_stock.return_borrowed t.stock else Page_stock.return_page t.stock id)
+        e.pages;
+      t.pages_in_use <- t.pages_in_use - List.length e.pages;
+      Hashtbl.remove t.entries addr
+
+(** Pages currently backing live LOS objects. *)
+let pages_in_use (t : t) : int = t.pages_in_use
+
+(** Live LOS allocations (addresses). *)
+let live_addrs (t : t) : int list = Hashtbl.fold (fun a _ acc -> a :: acc) t.entries []

@@ -1,0 +1,63 @@
+(** Per-run metrics gathered by the VM — the raw material for every
+    figure and table in the evaluation. *)
+
+type t = {
+  mutable objects_allocated : int;
+  mutable bytes_allocated : int;
+  mutable full_gcs : int;
+  mutable nursery_gcs : int;
+  mutable pauses_ns : float list;  (** full-heap collection pauses *)
+  mutable nursery_pauses_ns : float list;
+  mutable bytes_copied : int;
+  mutable objects_evacuated : int;
+  mutable hole_skips : int;  (** bump-pointer hole transitions *)
+  mutable lines_scanned : int;  (** hole-search line examinations *)
+  mutable blocks_assembled : int;
+  mutable overflow_allocs : int;
+  mutable overflow_searches : int;  (** FA re-searches of the overflow block *)
+  mutable perfect_block_fallbacks : int;
+  mutable los_objects : int;
+  mutable los_pages : int;
+  mutable arraylet_arrays : int;  (** large arrays split into arraylets *)
+  mutable arraylet_pieces : int;
+  mutable dynamic_failures : int;
+  mutable peak_live_bytes : int;
+  mutable out_of_memory : bool;
+  mutable oom_request : int;  (** size of the allocation that hit OOM (0 = none) *)
+}
+
+let create () : t =
+  {
+    objects_allocated = 0;
+    bytes_allocated = 0;
+    full_gcs = 0;
+    nursery_gcs = 0;
+    pauses_ns = [];
+    nursery_pauses_ns = [];
+    bytes_copied = 0;
+    objects_evacuated = 0;
+    hole_skips = 0;
+    lines_scanned = 0;
+    blocks_assembled = 0;
+    overflow_allocs = 0;
+    overflow_searches = 0;
+    perfect_block_fallbacks = 0;
+    los_objects = 0;
+    los_pages = 0;
+    arraylet_arrays = 0;
+    arraylet_pieces = 0;
+    dynamic_failures = 0;
+    peak_live_bytes = 0;
+    out_of_memory = false;
+    oom_request = 0;
+  }
+
+let gcs (t : t) : int = t.full_gcs + t.nursery_gcs
+
+let mean_full_pause_ms (t : t) : float option =
+  match t.pauses_ns with
+  | [] -> None
+  | ps -> Some (Holes_stdx.Stats.mean ps /. 1.0e6)
+
+let max_full_pause_ms (t : t) : float option =
+  match t.pauses_ns with [] -> None | ps -> Some (Holes_stdx.Stats.maximum ps /. 1.0e6)

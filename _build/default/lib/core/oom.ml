@@ -1,0 +1,4 @@
+(** Raised when the heap (plus the bounded DRAM borrow budget) cannot
+    hold the live set — the paper's "some configurations cannot execute
+    some of the benchmarks" (Sec. 5). *)
+exception Out_of_memory

@@ -1,0 +1,277 @@
+(** The failure-aware virtual machine: the public facade tying together
+    the failure map, OS page stock, object model, LOS and the selected
+    collector.  Workloads drive a [Vm.t] through {!alloc}, {!write_ref}
+    and {!kill}; every paper experiment is a function of the metrics and
+    cost accumulated here.
+
+    Heap sizing follows the paper's methodology (Sec. 5): the heap is a
+    multiple of the workload's minimum, and under failures the VM
+    *compensates* — requests [h / (1 - f)] bytes of (imperfect) memory so
+    the usable budget is held constant (Sec. 6.2). *)
+
+open Holes_stdx
+open Holes_heap
+
+exception Out_of_memory = Immix.Out_of_memory
+
+type space = Ix of Immix.t | Ms of Mark_sweep.t
+
+type t = {
+  cfg : Config.t;
+  cost : Cost.t;
+  metrics : Metrics.t;
+  objects : Object_table.t;
+  stock : Page_stock.t;
+  los : Los.t;
+  space : space;
+  heap_pages : int;  (** pages granted (after compensation) *)
+  arraylet_spines : (int, int list) Hashtbl.t;
+      (** spine object id -> arraylet piece ids (Z-rays mode) *)
+}
+
+let page_bytes = Holes_pcm.Geometry.page_bytes
+let lines_per_page = Holes_pcm.Geometry.lines_per_page
+
+(** Build the static failure map for a heap of [npages] pages under the
+    configured failure distribution (the fault-injection module of
+    Sec. 5, sitting between the OS allocator and the VM allocator). *)
+let generate_failure_map (cfg : Config.t) ~(rng : Xrng.t) ~(npages : int) : Bitset.t * int =
+  let round_pages_to mult = (npages + mult - 1) / mult * mult in
+  match cfg.Config.failure_dist with
+  | Config.Uniform ->
+      let nlines = npages * lines_per_page in
+      (Holes_pcm.Failure_map.uniform rng ~nlines ~rate:cfg.Config.failure_rate, npages)
+  | Config.Granule g ->
+      (* granules larger than a page require whole-multiple sizing *)
+      let pages = round_pages_to (max 1 (g / lines_per_page)) in
+      let nlines = pages * lines_per_page in
+      ( Holes_pcm.Failure_map.clustered rng ~nlines ~rate:cfg.Config.failure_rate ~granule_lines:g,
+        pages )
+  | Config.Hw_cluster region_pages ->
+      let pages = round_pages_to region_pages in
+      let nlines = pages * lines_per_page in
+      let base = Holes_pcm.Failure_map.uniform rng ~nlines ~rate:cfg.Config.failure_rate in
+      (Holes_pcm.Failure_map.cluster_transform base ~region_pages, pages)
+
+(** Create a VM with a heap of [heap_factor × min_heap_bytes] usable
+    bytes (compensated for the failure rate when configured).
+    [device_map] overrides the generated failure map (used by the
+    wear-leveling ablation and by tests that inject hand-built maps); it
+    receives the page count and must return a bitmap of
+    [npages * 64] lines. *)
+let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) option)
+    ~(min_heap_bytes : int) () : t =
+  (match Config.validate cfg with Ok () -> () | Error m -> invalid_arg ("Vm.create: " ^ m));
+  let heap_bytes =
+    int_of_float (cfg.Config.heap_factor *. float_of_int min_heap_bytes)
+  in
+  let base_pages = (heap_bytes + page_bytes - 1) / page_bytes in
+  let pages =
+    if cfg.Config.compensate && cfg.Config.failure_rate > 0.0 then
+      int_of_float (ceil (float_of_int base_pages /. (1.0 -. cfg.Config.failure_rate)))
+    else base_pages
+  in
+  let rng = Xrng.of_seed cfg.Config.seed in
+  let device_map, heap_pages =
+    match device_map with
+    | Some f -> (f ~npages:pages, pages)
+    | None -> generate_failure_map cfg ~rng ~npages:pages
+  in
+  let stock =
+    Page_stock.create ~line_size:cfg.Config.line_size ~device_map ~npages:heap_pages ()
+  in
+  let cost = Cost.create () in
+  let metrics = Metrics.create () in
+  let objects = Object_table.create () in
+  let los = Los.create ~stock ~cost ~metrics in
+  let space =
+    if Config.is_immix cfg.Config.collector then
+      Ix (Immix.create ~cfg ~cost ~metrics ~stock ~objects ~los)
+    else Ms (Mark_sweep.create ~cfg ~cost ~metrics ~stock ~objects ~los)
+  in
+  { cfg; cost; metrics; objects; stock; los; space; heap_pages;
+    arraylet_spines = Hashtbl.create 64 }
+
+let cfg (t : t) : Config.t = t.cfg
+let cost (t : t) : Cost.t = t.cost
+let metrics (t : t) : Metrics.t = t.metrics
+let objects (t : t) : Object_table.t = t.objects
+let stock (t : t) : Page_stock.t = t.stock
+
+(** Ask the next full collection to defragment (evacuate sparse blocks).
+    The collector also requests this itself on allocation pressure;
+    Immix defragments on demand, not on every collection. *)
+let request_defrag (t : t) : unit =
+  match t.space with Ix s -> Immix.request_defrag s | Ms _ -> ()
+
+(** Trigger a collection explicitly. *)
+let collect (t : t) ~(full : bool) : unit =
+  match t.space with Ix s -> Immix.collect s ~full | Ms s -> Mark_sweep.collect s ~full
+
+(* LOS allocation with the collection-retry ladder. *)
+let alloc_los (t : t) ~(size : int) : int =
+  let generational = Config.is_generational t.cfg.Config.collector in
+  let try_once () =
+    if Los.can_allocate t.los ~size then Los.alloc t.los ~size else None
+  in
+  let rec attempt n =
+    match try_once () with
+    | Some addr -> addr
+    | None ->
+        (* page shortage: a defragmenting collection can dissolve sparse
+           blocks back into stock pages *)
+        (match t.space with Ix s -> Immix.request_defrag s | Ms _ -> ());
+        if n = 0 && generational then begin
+          collect t ~full:false;
+          attempt 1
+        end
+        else if n <= 1 then begin
+          collect t ~full:true;
+          attempt 2
+        end
+        else begin
+          t.metrics.Metrics.out_of_memory <- true;
+          t.metrics.Metrics.oom_request <- size;
+          raise Out_of_memory
+        end
+  in
+  attempt 0
+
+(* a small/medium allocation through the configured collector *)
+let alloc_in_space (t : t) ~(size : int) ~(pinned : bool) : int =
+  match t.space with
+  | Ix s ->
+      let addr = Immix.alloc s ~size in
+      let id = Object_table.alloc t.objects ~addr ~size ~pinned ~los:false in
+      Immix.register s ~id ~addr;
+      id
+  | Ms s ->
+      let block, cell, addr = Mark_sweep.alloc s ~size in
+      let id = Object_table.alloc t.objects ~addr ~size ~pinned ~los:false in
+      Mark_sweep.register_cell s ~block ~cell ~id;
+      Mark_sweep.register s ~id;
+      id
+
+(* Discontiguous arrays (Z-rays, Sartor et al. — paper Sec. 3.3.3): a
+   large array becomes fixed-size arraylets plus a spine of pointers,
+   all allocated as ordinary (relaxed) objects — no perfect pages
+   needed.  Arraylets are line-sized ("arraylets as small as 256
+   bytes"), so they take the small-object hole-skipping path and fit
+   any imperfect page.  The spine indirection is charged per byte. *)
+let alloc_arraylets (t : t) ~(size : int) ~(pinned : bool) : int =
+  let arraylet_bytes = t.cfg.Config.line_size in
+  let npieces = (size + arraylet_bytes - 1) / arraylet_bytes in
+  let pieces = ref [] in
+  for i = 0 to npieces - 1 do
+    let psize = min arraylet_bytes (size - (i * arraylet_bytes)) in
+    pieces := alloc_in_space t ~size:(max 16 psize) ~pinned:false :: !pieces
+  done;
+  let spine = alloc_in_space t ~size:(max 16 (npieces * 8)) ~pinned in
+  List.iter (fun p -> Object_table.add_ref t.objects ~src:spine ~dst:p) !pieces;
+  Hashtbl.replace t.arraylet_spines spine !pieces;
+  let w = t.cost.Cost.weights in
+  Cost.charge t.cost (w.Cost.arraylet_byte *. float_of_int size);
+  t.metrics.Metrics.arraylet_arrays <- t.metrics.Metrics.arraylet_arrays + 1;
+  t.metrics.Metrics.arraylet_pieces <- t.metrics.Metrics.arraylet_pieces + npieces;
+  spine
+
+(** Allocate an object of [size] bytes; returns its object id.  May run
+    collections; raises {!Out_of_memory} when the heap cannot hold the
+    live set.  Large objects go to the page-grained LOS, or — in Z-rays
+    mode — are split into discontiguous arraylets. *)
+let alloc (t : t) ?(pinned = false) ~(size : int) () : int =
+  let asize = Units.aligned_size size in
+  t.metrics.Metrics.objects_allocated <- t.metrics.Metrics.objects_allocated + 1;
+  t.metrics.Metrics.bytes_allocated <- t.metrics.Metrics.bytes_allocated + asize;
+  if asize > Units.los_threshold && t.cfg.Config.arraylets then
+    alloc_arraylets t ~size:asize ~pinned
+  else if asize > Units.los_threshold then begin
+    let addr = alloc_los t ~size:asize in
+    let id = Object_table.alloc t.objects ~addr ~size:asize ~pinned ~los:true in
+    (match t.space with
+    | Ix s -> Immix.register s ~id ~addr
+    | Ms s -> Mark_sweep.register s ~id);
+    id
+  end
+  else alloc_in_space t ~size:asize ~pinned
+
+(** Store a reference from [src] to [dst] (fires the write barrier). *)
+let write_ref (t : t) ~(src : int) ~(dst : int) : unit =
+  Object_table.add_ref t.objects ~src ~dst;
+  match t.space with Ix s -> Immix.write_barrier s ~src | Ms s -> Mark_sweep.write_barrier s ~src
+
+(** The object becomes unreachable; its space is reclaimed by a later
+    collection.  Killing an arraylet spine kills its pieces. *)
+let kill (t : t) (id : int) : unit =
+  Object_table.kill t.objects id;
+  match Hashtbl.find_opt t.arraylet_spines id with
+  | None -> ()
+  | Some pieces ->
+      List.iter (Object_table.kill t.objects) pieces;
+      Hashtbl.remove t.arraylet_spines id
+
+(** Inject a dynamic PCM line failure at the heap address of object
+    [id] (or an arbitrary address via [dynamic_failure_at]).  LOS
+    failures relocate the whole large object to fresh perfect pages. *)
+let dynamic_failure_at (t : t) ~(addr : int) : unit =
+  if Los.is_los_addr addr then begin
+    t.metrics.Metrics.dynamic_failures <- t.metrics.Metrics.dynamic_failures + 1;
+    (* find the live object whose pages contain the address *)
+    let victim = ref None in
+    Object_table.iter_slots t.objects (fun id ->
+        if !victim = None && Object_table.is_alive t.objects id
+           && Object_table.is_los t.objects id
+        then begin
+          let a = Object_table.addr t.objects id in
+          let npages = Los.pages_needed (Object_table.size t.objects id) in
+          if a <= addr && addr < a + (npages * page_bytes) then victim := Some id
+        end);
+    match !victim with
+    | None -> ()
+    | Some id ->
+        let size = Object_table.size t.objects id in
+        let old_addr = Object_table.addr t.objects id in
+        Los.free t.los ~addr:old_addr;
+        let new_addr = alloc_los t ~size in
+        Object_table.relocate t.objects id ~new_addr;
+        let w = t.cost.Cost.weights in
+        Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+        t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size
+  end
+  else
+    match t.space with
+    | Ix s -> Immix.dynamic_failure s ~addr
+    | Ms _ -> invalid_arg "Vm.dynamic_failure_at: mark-sweep runs without failures"
+
+let dynamic_failure (t : t) ~(id : int) : unit =
+  if Object_table.is_alive t.objects id then
+    dynamic_failure_at t ~addr:(Object_table.addr t.objects id)
+
+(** Total modeled execution time so far, in milliseconds. *)
+let elapsed_ms (t : t) : float = Cost.total_ms t.cost
+
+(** Post-collection heap invariants (valid immediately after a full
+    collection): live objects never overlap failed lines or each other's
+    line accounting. *)
+let check_invariants (t : t) : (unit, string) result =
+  match t.space with Ix s -> Immix.check_invariants s | Ms _ -> Ok ()
+
+(** Snapshot of headline counters, for examples and debugging output. *)
+let pp_summary (ppf : Format.formatter) (t : t) : unit =
+  let m = t.metrics in
+  Format.fprintf ppf
+    "@[<v>time: %.2f ms (mutator %.2f, gc %.2f)@,\
+     allocated: %d objects, %.2f MB@,\
+     collections: %d full, %d nursery@,\
+     copied: %.2f MB; hole skips: %d; perfect-block fallbacks: %d@,\
+     LOS: %d objects, %d pages; borrowed pages: %d@]"
+    (Cost.total_ms t.cost)
+    (Cost.mutator_ns t.cost /. 1e6)
+    (Cost.gc_ns t.cost /. 1e6)
+    m.Metrics.objects_allocated
+    (float_of_int m.Metrics.bytes_allocated /. 1048576.0)
+    m.Metrics.full_gcs m.Metrics.nursery_gcs
+    (float_of_int m.Metrics.bytes_copied /. 1048576.0)
+    m.Metrics.hole_skips m.Metrics.perfect_block_fallbacks m.Metrics.los_objects
+    m.Metrics.los_pages
+    (Holes_osal.Accounting.total_borrowed (Page_stock.accounting t.stock))

@@ -1,0 +1,1 @@
+lib/exp/figures.ml: Holes Holes_pcm Holes_stdx Holes_workload List Printf Runner Stats Table

@@ -1,0 +1,1 @@
+lib/exp/runner.ml: Hashtbl Holes Holes_heap Holes_osal Holes_stdx Holes_workload List Option Printf Stats Xrng

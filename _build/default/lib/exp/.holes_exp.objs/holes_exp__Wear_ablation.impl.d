@@ -1,0 +1,1 @@
+lib/exp/wear_ablation.ml: Array Bitset Dist Figures Float Fun Holes Holes_pcm Holes_stdx Holes_workload List Option Printf Runner Stats Table Xrng

@@ -1,0 +1,353 @@
+(** Drivers reproducing every figure and table of the paper's evaluation
+    (Sec. 6).  Each function runs the necessary configurations through
+    {!Runner} (memoized) and renders a {!Holes_stdx.Table}; shapes — who
+    wins, by what factor, where crossovers fall — are the reproduction
+    target (see EXPERIMENTS.md for the paper-vs-measured record). *)
+
+open Holes_stdx
+module Cfg = Holes.Config
+module W = Holes_workload
+
+let suite = W.Dacapo.suite
+let suite_buggy = W.Dacapo.suite_with_buggy
+
+(* Heap factors swept in heap-size figures (the paper sweeps 1–6× min). *)
+let heap_factors = [ 1.33; 1.5; 2.0; 2.5; 3.0; 4.0; 6.0 ]
+
+let base_six = { Cfg.default with Cfg.collector = Cfg.Sticky_immix; line_size = 256 }
+
+let fmt_ratio = function None -> "DNF" | Some r -> Printf.sprintf "%.3f" r
+
+(* per-benchmark normalized time of cfg vs base; None on DNF *)
+let ratio ~params ~cfg ~base profile =
+  let o = Runner.run ~params ~cfg ~profile () in
+  let b = Runner.run ~params ~cfg:base ~profile () in
+  match (Runner.time_if_all_completed o, Runner.time_if_all_completed b) with
+  | Some t, Some tb when tb > 0.0 -> Some (t /. tb)
+  | _ -> None
+
+let geo ~params ~cfg ~base profiles =
+  Runner.geomean_normalized ~params ~cfg ~base ~profiles ()
+
+(* ------------------------------------------------------------------ *)
+
+(** Fig. 3: total time of MS, IX, S-MS, S-IX across heap sizes (no
+    failures) — motivates Sticky Immix as the baseline. *)
+let fig3 ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 3 — collector comparison, geomean time normalized to S-IX @ 6x"
+      ~headers:[ "heap"; "MS"; "IX"; "S-MS"; "S-IX" ] ()
+  in
+  let base = { base_six with Cfg.heap_factor = 6.0 } in
+  List.iter
+    (fun h ->
+      let cell coll =
+        let cfg = { base_six with Cfg.collector = coll; heap_factor = h } in
+        fmt_ratio (geo ~params ~cfg ~base suite)
+      in
+      Table.add_row t
+        [ Printf.sprintf "%.2fx" h; cell Cfg.Mark_sweep; cell Cfg.Immix; cell Cfg.Sticky_ms;
+          cell Cfg.Sticky_immix ])
+    heap_factors;
+  t
+
+(** Fig. 4: per-benchmark overhead of failure-aware S-IX with two-page
+    clustering at 0/10/25/50% failures, 2x heap, normalized to
+    unmodified S-IX.  The buggy lusearch is reported but excluded from
+    the geomean, as in the paper. *)
+let fig4 ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 4 — S-IX^PCM_2CL overhead vs failure rate (2x heap)"
+      ~headers:[ "benchmark"; "0%"; "10%"; "25%"; "50%" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
+  in
+  let cfg_at f =
+    if f = 0.0 then base_six
+    else { base_six with Cfg.failure_rate = f; failure_dist = Cfg.Hw_cluster 2 }
+  in
+  let rates = [ 0.0; 0.10; 0.25; 0.50 ] in
+  List.iter
+    (fun p ->
+      let cells = List.map (fun f -> fmt_ratio (ratio ~params ~cfg:(cfg_at f) ~base:base_six p)) rates in
+      let name = p.W.Profile.name in
+      let name = if name = "lusearch" then "lusearch (buggy)" else name in
+      Table.add_row t (name :: cells))
+    suite_buggy;
+  let geos = List.map (fun f -> fmt_ratio (geo ~params ~cfg:(cfg_at f) ~base:base_six suite)) rates in
+  Table.add_row t ("geomean" :: geos);
+  t
+
+(** Fig. 5: the compensation study at 10% failures (no clustering unless
+    stated), across heap sizes; normalized to the no-failure baseline at
+    6x. *)
+let fig5 ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 5 — memory reduction vs fragmentation (10% failures)"
+      ~headers:[ "heap"; "S-IX^PCM (0%)"; "10% NoComp"; "10% Comp"; "10% 2CL Comp" ] ()
+  in
+  let base = { base_six with Cfg.heap_factor = 6.0 } in
+  List.iter
+    (fun h ->
+      let at cfg = fmt_ratio (geo ~params ~cfg ~base suite) in
+      let f0 = { base_six with Cfg.heap_factor = h } in
+      let nocomp =
+        { base_six with Cfg.heap_factor = h; failure_rate = 0.10; compensate = false }
+      in
+      let comp = { base_six with Cfg.heap_factor = h; failure_rate = 0.10 } in
+      let cl2 =
+        { base_six with Cfg.heap_factor = h; failure_rate = 0.10; failure_dist = Cfg.Hw_cluster 2 }
+      in
+      Table.add_row t [ Printf.sprintf "%.2fx" h; at f0; at nocomp; at comp; at cl2 ])
+    heap_factors;
+  t
+
+(** Fig. 6(a): Immix line size on the failure-free baseline across heap
+    sizes. *)
+let fig6a ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 6a — line size effect, no failures (normalized to L256 @ 6x)"
+      ~headers:[ "heap"; "S-IX L64"; "S-IX L128"; "S-IX L256" ] ()
+  in
+  let base = { base_six with Cfg.heap_factor = 6.0 } in
+  List.iter
+    (fun h ->
+      let at l = fmt_ratio (geo ~params ~cfg:{ base_six with Cfg.line_size = l; heap_factor = h } ~base suite) in
+      Table.add_row t [ Printf.sprintf "%.2fx" h; at 64; at 128; at 256 ])
+    heap_factors;
+  t
+
+(** Fig. 6(b): the same three line sizes at 10% uniform failures, no
+    clustering — false failures penalize large lines. *)
+let fig6b ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 6b — line size effect at 10% failures (normalized to S-IX L256 @ 6x)"
+      ~headers:[ "heap"; "S-IX (L256,0%)"; "PCM L64"; "PCM L128"; "PCM L256" ] ()
+  in
+  let base = { base_six with Cfg.heap_factor = 6.0 } in
+  List.iter
+    (fun h ->
+      let at l =
+        fmt_ratio
+          (geo ~params
+             ~cfg:{ base_six with Cfg.line_size = l; heap_factor = h; failure_rate = 0.10 }
+             ~base suite)
+      in
+      let f0 = fmt_ratio (geo ~params ~cfg:{ base_six with Cfg.heap_factor = h } ~base suite) in
+      Table.add_row t [ Printf.sprintf "%.2fx" h; f0; at 64; at 128; at 256 ])
+    heap_factors;
+  t
+
+(** Fig. 7: failure-rate sweep at a fixed 2x heap for the three line
+    sizes (no clustering): the false-failure crossover. *)
+let fig7 ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 7 — failure sweep at 2x heap (normalized to S-IX L256, 0%)"
+      ~headers:[ "failures"; "L64"; "L128"; "L256" ] ()
+  in
+  let rates = [ 0.0; 0.05; 0.10; 0.15; 0.20; 0.25; 0.30; 0.35; 0.40; 0.45; 0.50 ] in
+  List.iter
+    (fun f ->
+      let at l =
+        fmt_ratio
+          (geo ~params ~cfg:{ base_six with Cfg.line_size = l; failure_rate = f } ~base:base_six
+             suite)
+      in
+      Table.add_row t [ Printf.sprintf "%.0f%%" (f *. 100.0); at 64; at 128; at 256 ])
+    rates;
+  t
+
+(** Fig. 8: the failure-clustering limit study — failures arrive in
+    aligned 2^N clusters from 64 B to 16 KB. *)
+let fig8 ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 8 — clustered-failure limit study, L256 @ 2x (normalized to S-IX)"
+      ~headers:[ "cluster"; "10%"; "25%"; "50%" ] ()
+  in
+  let granules = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ] in
+  List.iter
+    (fun g ->
+      let at f =
+        fmt_ratio
+          (geo ~params
+             ~cfg:{ base_six with Cfg.failure_rate = f; failure_dist = Cfg.Granule g }
+             ~base:base_six suite)
+      in
+      let label =
+        let bytes = g * Holes_pcm.Geometry.line_bytes in
+        if bytes >= 1024 then Printf.sprintf "%dKB" (bytes / 1024) else Printf.sprintf "%dB" bytes
+      in
+      Table.add_row t [ label; at 0.10; at 0.25; at 0.50 ])
+    granules;
+  t
+
+let clustering_configs =
+  [ ("none", Cfg.Uniform); ("1CL", Cfg.Hw_cluster 1); ("2CL", Cfg.Hw_cluster 2) ]
+
+(** Fig. 9(a): proposed clustering hardware — performance for line sizes
+    × clustering × failure rate. *)
+let fig9a ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 9a — hardware clustering: geomean time (normalized to S-IX)"
+      ~headers:[ "config"; "0%"; "10%"; "25%"; "50%" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
+  in
+  List.iter
+    (fun (cname, dist) ->
+      List.iter
+        (fun l ->
+          let at f =
+            let cfg =
+              if f = 0.0 then { base_six with Cfg.line_size = l }
+              else { base_six with Cfg.line_size = l; failure_rate = f; failure_dist = dist }
+            in
+            fmt_ratio (geo ~params ~cfg ~base:base_six suite)
+          in
+          Table.add_row t
+            [ Printf.sprintf "%s L%d" cname l; at 0.0; at 0.10; at 0.25; at 0.50 ])
+        [ 64; 128; 256 ])
+    clustering_configs;
+  t
+
+(** Fig. 9(b): demand for perfect pages (borrowed DRAM pages per run,
+    mean over benchmarks). *)
+let fig9b ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 9b — borrowed (perfect-page) demand, mean pages per run"
+      ~headers:[ "config"; "0%"; "10%"; "25%"; "50%" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
+  in
+  List.iter
+    (fun (cname, dist) ->
+      List.iter
+        (fun l ->
+          let at f =
+            let cfg =
+              if f = 0.0 then { base_six with Cfg.line_size = l }
+              else { base_six with Cfg.line_size = l; failure_rate = f; failure_dist = dist }
+            in
+            let vals =
+              List.filter_map
+                (fun p ->
+                  let o = Runner.run ~params ~cfg ~profile:p () in
+                  if o.Runner.completed > 0 then Some o.Runner.mean_borrowed else None)
+                suite
+            in
+            match vals with [] -> "DNF" | _ -> Printf.sprintf "%.1f" (Stats.mean vals)
+          in
+          Table.add_row t
+            [ Printf.sprintf "%s L%d" cname l; at 0.0; at 0.10; at 0.25; at 0.50 ])
+        [ 64; 128; 256 ])
+    clustering_configs;
+  t
+
+(** Fig. 10: per-benchmark results for one- and two-page clustering. *)
+let fig10 ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Fig. 10 — per-benchmark, 1CL vs 2CL (normalized to S-IX)"
+      ~headers:
+        [ "benchmark"; "1CL 10%"; "1CL 25%"; "1CL 50%"; "2CL 10%"; "2CL 25%"; "2CL 50%" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let cell pages f p =
+    fmt_ratio
+      (ratio ~params
+         ~cfg:{ base_six with Cfg.failure_rate = f; failure_dist = Cfg.Hw_cluster pages }
+         ~base:base_six p)
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [ p.W.Profile.name; cell 1 0.10 p; cell 1 0.25 p; cell 1 0.50 p; cell 2 0.10 p;
+          cell 2 0.25 p; cell 2 0.50 p ])
+    suite;
+  t
+
+(** Sec. 4.2 pause table: full-heap collection cost at 2x heap (the
+    paper: 7 ms average, 44 ms worst case for hsqldb, 14.7 GCs and
+    1817 ms total on average). *)
+let pauses ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Sec. 4.2 — full-heap collection cost (S-IX, 2x heap)"
+      ~headers:[ "benchmark"; "total ms"; "GCs"; "mean full pause ms"; "max full pause ms" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
+  in
+  let totals = ref [] and gcs = ref [] and pause_means = ref [] in
+  List.iter
+    (fun p ->
+      let o = Runner.run ~params ~cfg:base_six ~profile:p () in
+      let total = match o.Runner.time_ms with Some s -> s.Stats.mean | None -> nan in
+      let n = o.Runner.mean_full_gcs +. o.Runner.mean_nursery_gcs in
+      totals := total :: !totals;
+      gcs := n :: !gcs;
+      if o.Runner.mean_full_pause_ms > 0.0 then pause_means := o.Runner.mean_full_pause_ms :: !pause_means;
+      Table.add_row t
+        [ p.W.Profile.name; Printf.sprintf "%.1f" total; Printf.sprintf "%.1f" n;
+          Printf.sprintf "%.2f" o.Runner.mean_full_pause_ms;
+          Printf.sprintf "%.2f" o.Runner.max_full_pause_ms ])
+    suite;
+  Table.add_row t
+    [ "mean"; Printf.sprintf "%.1f" (Stats.mean !totals); Printf.sprintf "%.1f" (Stats.mean !gcs);
+      (match !pause_means with [] -> "-" | l -> Printf.sprintf "%.2f" (Stats.mean l)); "-" ];
+  t
+
+(** Sec. 8 headline numbers: overhead with and without clustering at 10%
+    and 50% failures. *)
+let headline ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Headline — geomean overhead vs S-IX (2x heap)"
+      ~headers:[ "config"; "10% failures"; "50% failures" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ] ()
+  in
+  let over dist f =
+    match
+      geo ~params ~cfg:{ base_six with Cfg.failure_rate = f; failure_dist = dist } ~base:base_six
+        suite
+    with
+    | None -> "DNF"
+    | Some r -> Printf.sprintf "%+.1f%%" ((r -. 1.0) *. 100.0)
+  in
+  Table.add_row t [ "no clustering (uniform)"; over Cfg.Uniform 0.10; over Cfg.Uniform 0.50 ];
+  Table.add_row t [ "2-page clustering"; over (Cfg.Hw_cluster 2) 0.10; over (Cfg.Hw_cluster 2) 0.50 ];
+  t
+
+(** Design-choice ablations (DESIGN.md §5): the Z-rays alternative to
+    perfect-page large objects (paper Sec. 3.3.3), opportunistic nursery
+    copying, and on-demand defragmentation. *)
+let ablation ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Ablations — geomean time vs S-IX and borrowed pages (2x heap)"
+      ~headers:[ "config"; "time"; "borrowed pages" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ] ()
+  in
+  let borrowed cfg =
+    let vals =
+      List.filter_map
+        (fun p ->
+          let o = Runner.run ~params ~cfg ~profile:p () in
+          if o.Runner.completed > 0 then Some o.Runner.mean_borrowed else None)
+        suite
+    in
+    match vals with [] -> "DNF" | _ -> Printf.sprintf "%.1f" (Stats.mean vals)
+  in
+  let row label cfg =
+    Table.add_row t [ label; fmt_ratio (geo ~params ~cfg ~base:base_six suite); borrowed cfg ]
+  in
+  let u25 = { base_six with Cfg.failure_rate = 0.25 } in
+  let cl50 = { base_six with Cfg.failure_rate = 0.50; failure_dist = Cfg.Hw_cluster 2 } in
+  row "LOS, 25% uniform" u25;
+  row "Z-rays, 25% uniform" { u25 with Cfg.arraylets = true };
+  row "LOS, 50% 2CL" cl50;
+  row "Z-rays, 50% 2CL" { cl50 with Cfg.arraylets = true };
+  row "no nursery copy, 25% 2CL"
+    { base_six with Cfg.failure_rate = 0.25; failure_dist = Cfg.Hw_cluster 2; nursery_copy = false };
+  row "no defrag, 25% 2CL"
+    { base_six with Cfg.failure_rate = 0.25; failure_dist = Cfg.Hw_cluster 2; defrag = false };
+  t
+
+(** All figures in order. *)
+let all ?(params = Runner.quick) () : Table.t list =
+  [ fig3 ~params (); fig4 ~params (); fig5 ~params (); fig6a ~params (); fig6b ~params ();
+    fig7 ~params (); fig8 ~params (); fig9a ~params (); fig9b ~params (); fig10 ~params ();
+    pauses ~params (); headline ~params () ]

@@ -1,0 +1,125 @@
+(** The experiment runner: configuration × workload × heap factor →
+    summarized metrics, with memoization (many figures share
+    configurations) and multi-seed trials with 95% confidence intervals,
+    mirroring the paper's 20-invocation methodology (Sec. 5). *)
+
+open Holes_stdx
+
+type params = {
+  scale : float;  (** workload volume scale (1.0 = full) *)
+  seeds : int;  (** trials per configuration *)
+}
+
+let quick = { scale = 0.25; seeds = 2 }
+let full = { scale = 0.6; seeds = 5 }
+
+type outcome = {
+  profile : string;
+  cfg : Holes.Config.t;
+  completed : int;  (** trials that finished *)
+  trials : int;
+  time_ms : Stats.summary option;  (** over completed trials *)
+  mean_full_pause_ms : float;
+  max_full_pause_ms : float;
+  mean_full_gcs : float;
+  mean_nursery_gcs : float;
+  mean_borrowed : float;  (** borrowed DRAM pages (lifetime) per trial *)
+  mean_perfect_requests : float;
+  mean_hole_skips : float;
+  mean_bytes_copied : float;
+}
+
+(* memo table: one entry per (config, profile, params) *)
+let cache : (string, outcome) Hashtbl.t = Hashtbl.create 256
+
+let cache_key (cfg : Holes.Config.t) (profile : Holes_workload.Profile.t) (p : params) : string =
+  Printf.sprintf "%s|h%.3f|d%b|n%b|%s|s%.4f|n%d|seed%d" (Holes.Config.name cfg)
+    cfg.Holes.Config.heap_factor cfg.Holes.Config.defrag cfg.Holes.Config.nursery_copy
+    profile.Holes_workload.Profile.name p.scale p.seeds cfg.Holes.Config.seed
+
+type raw_trial = {
+  r_completed : bool;
+  r_time : float;
+  r_metrics : Holes.Metrics.t;
+  r_borrowed : int;
+  r_perfect_requests : int;
+}
+
+let run_trial ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile.t) ~(scale : float)
+    ~(seed : int) : raw_trial =
+  let cfg = { cfg with Holes.Config.seed } in
+  let profile = Holes_workload.Profile.scaled profile scale in
+  let vm = Holes.Vm.create ~cfg ~min_heap_bytes:(Holes_workload.Profile.min_heap profile) () in
+  let rng = Xrng.of_seed (seed lxor 0x5eed) in
+  let res = Holes_workload.Generator.run ~rng vm profile in
+  let acct = Holes_heap.Page_stock.accounting (Holes.Vm.stock vm) in
+  {
+    r_completed = res.Holes_workload.Generator.completed;
+    r_time = res.Holes_workload.Generator.elapsed_ms;
+    r_metrics = res.Holes_workload.Generator.metrics;
+    r_borrowed = Holes_osal.Accounting.total_borrowed acct;
+    r_perfect_requests = Holes_osal.Accounting.perfect_requests acct;
+  }
+
+(** Run (or fetch from cache) all trials of [cfg] × [profile]. *)
+let run ?(params = quick) ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile.t) () :
+    outcome =
+  let key = cache_key cfg profile params in
+  match Hashtbl.find_opt cache key with
+  | Some o -> o
+  | None ->
+      let trials =
+        List.init params.seeds (fun i ->
+            run_trial ~cfg ~profile ~scale:params.scale ~seed:(41 + (1009 * i)))
+      in
+      let done_ = List.filter (fun t -> t.r_completed) trials in
+      let meanf f = match trials with [] -> 0.0 | _ -> Stats.mean (List.map f trials) in
+      let pauses =
+        List.concat_map (fun t -> t.r_metrics.Holes.Metrics.pauses_ns) done_
+        |> List.map (fun ns -> ns /. 1.0e6)
+      in
+      let o =
+        {
+          profile = profile.Holes_workload.Profile.name;
+          cfg;
+          completed = List.length done_;
+          trials = List.length trials;
+          time_ms =
+            (match done_ with
+            | [] -> None
+            | _ -> Some (Stats.summarize (List.map (fun t -> t.r_time) done_)));
+          mean_full_pause_ms = (match pauses with [] -> 0.0 | _ -> Stats.mean pauses);
+          max_full_pause_ms = (match pauses with [] -> 0.0 | _ -> Stats.maximum pauses);
+          mean_full_gcs = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.full_gcs);
+          mean_nursery_gcs = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.nursery_gcs);
+          mean_borrowed = meanf (fun t -> float_of_int t.r_borrowed);
+          mean_perfect_requests = meanf (fun t -> float_of_int t.r_perfect_requests);
+          mean_hole_skips = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.hole_skips);
+          mean_bytes_copied = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.bytes_copied);
+        }
+      in
+      Hashtbl.replace cache key o;
+      o
+
+(** Mean time of a completed outcome, or None if any trial failed (a DNF
+    point, dropped from aggregate curves as in the paper). *)
+let time_if_all_completed (o : outcome) : float option =
+  if o.completed = o.trials then Option.map (fun s -> s.Stats.mean) o.time_ms else None
+
+(** Geometric-mean normalized time of [cfgf cfg_base] over [profiles],
+    each benchmark normalized to its own [base] outcome.  None when any
+    benchmark DNFs (curve termination). *)
+let geomean_normalized ?(params = quick) ~(cfg : Holes.Config.t) ~(base : Holes.Config.t)
+    ~(profiles : Holes_workload.Profile.t list) () : float option =
+  let ratios =
+    List.map
+      (fun p ->
+        let o = run ~params ~cfg ~profile:p () in
+        let b = run ~params ~cfg:base ~profile:p () in
+        match (time_if_all_completed o, time_if_all_completed b) with
+        | Some t, Some tb when tb > 0.0 -> Some (t /. tb)
+        | _ -> None)
+      profiles
+  in
+  if List.exists (fun r -> r = None) ratios then None
+  else Some (Stats.geomean (List.map Option.get ratios))

@@ -1,0 +1,118 @@
+(** The Sec. 7.2 ablation: "Wear Leveling Considered Harmful".
+
+    Start-gap-style wear leveling spreads writes uniformly, so once
+    cells start failing the failures are uniformly scattered —
+    maximizing fragmentation.  Without leveling, write traffic has
+    spatial locality (hot pages), so the same *number* of failures
+    concentrates in hot regions and the failure-aware runtime barely
+    notices.  This module synthesizes both failure maps from a common
+    wear model and compares the runtime overhead they induce.
+
+    Model: per-line endurance is lognormal (process variation); write
+    traffic is Zipf-distributed over 4 KB pages (unleveled) or uniform
+    (leveled).  A line fails when its accumulated writes exceed its
+    endurance, so for a target failure count k the k lines with the
+    smallest endurance/traffic ratio fail — no time-stepping needed. *)
+
+open Holes_stdx
+module Cfg = Holes.Config
+
+(** Build a wear-out failure map with exactly [round (rate*nlines)]
+    failures.  [leveled] selects uniform (wear-leveled) vs Zipf
+    page-local (unleveled) write traffic. *)
+let wear_map (rng : Xrng.t) ~(nlines : int) ~(rate : float) ~(leveled : bool) : Bitset.t =
+  let lpp = Holes_pcm.Geometry.lines_per_page in
+  let npages = (nlines + lpp - 1) / lpp in
+  let page_weight =
+    if leveled then fun _ -> 1.0
+    else begin
+      (* Zipf traffic over pages, shuffled so hot pages are scattered *)
+      let order = Array.init npages Fun.id in
+      Xrng.shuffle rng order;
+      let w = Array.make npages 0.0 in
+      Array.iteri (fun rank page -> w.(page) <- 1.0 /. ((float_of_int rank +. 1.0) ** 0.9)) order;
+      fun p -> w.(p)
+    end
+  in
+  (* failure order: ascending endurance / traffic *)
+  let score =
+    Array.init nlines (fun i ->
+        let endurance = Dist.lognormal rng ~mu:0.0 ~sigma:0.25 in
+        let traffic = page_weight (i / lpp) in
+        (endurance /. traffic, i))
+  in
+  Array.sort compare score;
+  let k = int_of_float (Float.round (rate *. float_of_int nlines)) in
+  let map = Bitset.create nlines in
+  for j = 0 to k - 1 do
+    Bitset.set map (snd score.(j))
+  done;
+  map
+
+(** Fragmentation statistic of a map: mean run length of failed lines
+    (clustered wear → long runs) and the fraction of pages left
+    perfect. *)
+let describe (map : Bitset.t) : string =
+  let n = Bitset.length map in
+  let runs = ref 0 and failed = ref 0 in
+  let in_run = ref false in
+  for i = 0 to n - 1 do
+    if Bitset.get map i then begin
+      incr failed;
+      if not !in_run then incr runs;
+      in_run := true
+    end
+    else in_run := false
+  done;
+  let mean_run = if !runs = 0 then 0.0 else float_of_int !failed /. float_of_int !runs in
+  Printf.sprintf "mean failed-run %.2f lines, %d perfect pages"
+    mean_run
+    (Holes_pcm.Failure_map.perfect_pages map)
+
+(** Run the ablation: geomean overhead of the failure-aware runtime on
+    wear-leveled vs unleveled failure maps at the same failure rates. *)
+let table ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create ~title:"Sec. 7.2 — wear leveling considered harmful (S-IX^PCM L256, 2x heap)"
+      ~headers:[ "failures"; "leveled (uniform wear)"; "unleveled (concentrated wear)" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ] ()
+  in
+  let profiles = Holes_workload.Dacapo.suite in
+  let run_with ~leveled ~ratef profile =
+    let cfg = { Figures.base_six with Cfg.failure_rate = ratef; failure_dist = Cfg.Uniform } in
+    let profile = Holes_workload.Profile.scaled profile params.Runner.scale in
+    let device_map ~npages =
+      wear_map (Xrng.of_seed 2718) ~nlines:(npages * Holes_pcm.Geometry.lines_per_page)
+        ~rate:ratef ~leveled
+    in
+    let vm =
+      Holes.Vm.create ~cfg ~device_map
+        ~min_heap_bytes:(Holes_workload.Profile.min_heap profile)
+        ()
+    in
+    let res = Holes_workload.Generator.run ~rng:(Xrng.of_seed 99) vm profile in
+    if res.Holes_workload.Generator.completed then Some res.Holes_workload.Generator.elapsed_ms
+    else None
+  in
+  let base_time profile =
+    let o = Runner.run ~params ~cfg:Figures.base_six ~profile () in
+    Runner.time_if_all_completed o
+  in
+  List.iter
+    (fun ratef ->
+      let cell ~leveled =
+        let ratios =
+          List.map
+            (fun p ->
+              match (run_with ~leveled ~ratef p, base_time p) with
+              | Some t, Some b when b > 0.0 -> Some (t /. b)
+              | _ -> None)
+            profiles
+        in
+        if List.exists (( = ) None) ratios then "DNF"
+        else Printf.sprintf "%.3f" (Stats.geomean (List.map Option.get ratios))
+      in
+      Table.add_row t
+        [ Printf.sprintf "%.0f%%" (ratef *. 100.0); cell ~leveled:true; cell ~leveled:false ])
+    [ 0.10; 0.25; 0.50 ];
+  t

@@ -1,0 +1,1 @@
+lib/heap/block.ml: Array Bitset Bytes Holes_pcm Holes_stdx Intvec Units

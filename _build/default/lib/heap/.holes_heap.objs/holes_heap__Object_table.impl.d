@@ -1,0 +1,1 @@
+lib/heap/object_table.ml: Array Holes_stdx Intvec List

@@ -1,0 +1,1 @@
+lib/heap/page_stock.ml: Array Bitset Holes_osal Holes_pcm Holes_stdx List

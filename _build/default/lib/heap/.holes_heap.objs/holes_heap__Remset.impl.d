@@ -1,0 +1,1 @@
+lib/heap/remset.ml: Array Holes_stdx Intvec

@@ -1,0 +1,1 @@
+lib/heap/units.ml: Holes_pcm

@@ -1,0 +1,132 @@
+(** The simulated object model.
+
+    The reproduction does not run Java bytecode; workloads allocate
+    *simulated* objects through the VM.  Each object carries the fields
+    the memory manager cares about: its heap address, size, pin state,
+    reference edges into the live graph (driving trace costs and the
+    remembered set), a mark epoch, and liveness (decided by the
+    workload's death clock — see DESIGN.md).  Storage is
+    structure-of-arrays with id recycling so multi-million-object runs
+    stay cheap. *)
+
+open Holes_stdx
+
+type t = {
+  mutable addr : int array;
+  mutable size : int array;
+  mutable flags : int array;
+  mutable mark : int array;  (** epoch of last mark *)
+  mutable refs : int list array;  (** outgoing edges (object ids) *)
+  mutable cap : int;
+  mutable next_fresh : int;
+  free_ids : Intvec.t;
+  mutable live_count : int;
+  mutable live_bytes : int;
+}
+
+let flag_alive = 1
+let flag_pinned = 2
+let flag_nursery = 4  (* allocated since the last (full or nursery) collection *)
+let flag_los = 8
+
+let create () : t =
+  let cap = 1024 in
+  {
+    addr = Array.make cap (-1);
+    size = Array.make cap 0;
+    flags = Array.make cap 0;
+    mark = Array.make cap (-1);
+    refs = Array.make cap [];
+    cap;
+    next_fresh = 0;
+    free_ids = Intvec.create ();
+    live_count = 0;
+    live_bytes = 0;
+  }
+
+let grow (t : t) : unit =
+  let cap = t.cap * 2 in
+  let extend a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 t.cap;
+    b
+  in
+  t.addr <- extend t.addr (-1);
+  t.size <- extend t.size 0;
+  t.flags <- extend t.flags 0;
+  t.mark <- extend t.mark (-1);
+  t.refs <- extend t.refs [];
+  t.cap <- cap
+
+(** Allocate a fresh object id (recycled where possible). *)
+let alloc (t : t) ~(addr : int) ~(size : int) ~(pinned : bool) ~(los : bool) : int =
+  let id =
+    match Intvec.pop t.free_ids with
+    | Some id -> id
+    | None ->
+        if t.next_fresh = t.cap then grow t;
+        let id = t.next_fresh in
+        t.next_fresh <- t.next_fresh + 1;
+        id
+  in
+  t.addr.(id) <- addr;
+  t.size.(id) <- size;
+  t.flags.(id) <-
+    flag_alive lor flag_nursery lor (if pinned then flag_pinned else 0)
+    lor (if los then flag_los else 0);
+  t.mark.(id) <- -1;
+  t.refs.(id) <- [];
+  t.live_count <- t.live_count + 1;
+  t.live_bytes <- t.live_bytes + size;
+  id
+
+let addr (t : t) (id : int) : int = t.addr.(id)
+let size (t : t) (id : int) : int = t.size.(id)
+let is_alive (t : t) (id : int) : bool = t.flags.(id) land flag_alive <> 0
+let is_pinned (t : t) (id : int) : bool = t.flags.(id) land flag_pinned <> 0
+let is_nursery (t : t) (id : int) : bool = t.flags.(id) land flag_nursery <> 0
+let is_los (t : t) (id : int) : bool = t.flags.(id) land flag_los <> 0
+let refs (t : t) (id : int) : int list = t.refs.(id)
+
+(** The mutator's death: the object becomes unreachable.  Space is
+    reclaimed later, by a collection. *)
+let kill (t : t) (id : int) : unit =
+  if is_alive t id then begin
+    t.flags.(id) <- t.flags.(id) land lnot flag_alive;
+    t.refs.(id) <- [];
+    t.live_count <- t.live_count - 1;
+    t.live_bytes <- t.live_bytes - t.size.(id)
+  end
+
+(** Collector bookkeeping: recycle a dead object's slot once its space
+    has been reclaimed. *)
+let release (t : t) (id : int) : unit =
+  if is_alive t id then invalid_arg "Object_table.release: object still alive";
+  if t.addr.(id) >= 0 then begin
+    t.addr.(id) <- -1;
+    Intvec.push t.free_ids id
+  end
+
+(** Object relocation (evacuation / nursery copy). *)
+let relocate (t : t) (id : int) ~(new_addr : int) : unit = t.addr.(id) <- new_addr
+
+let clear_nursery_flag (t : t) (id : int) : unit =
+  t.flags.(id) <- t.flags.(id) land lnot flag_nursery
+
+let add_ref (t : t) ~(src : int) ~(dst : int) : unit =
+  (* cap fan-out to keep trace costs bounded and realistic *)
+  let r = t.refs.(src) in
+  if List.length r < 8 then t.refs.(src) <- dst :: r
+
+let set_mark (t : t) (id : int) (epoch : int) : unit = t.mark.(id) <- epoch
+let marked (t : t) (id : int) (epoch : int) : bool = t.mark.(id) = epoch
+
+let live_count (t : t) : int = t.live_count
+let live_bytes (t : t) : int = t.live_bytes
+
+(** Iterate over every slot that currently holds an object (alive or
+    dead-awaiting-collection). *)
+let iter_slots (t : t) (f : int -> unit) : unit =
+  for id = 0 to t.next_fresh - 1 do
+    if t.addr.(id) >= 0 then f id
+  done

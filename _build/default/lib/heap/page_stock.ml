@@ -1,0 +1,221 @@
+(** The VM's stock of OS-granted pages, with the fussy/relaxed
+    discipline and debit–credit accounting of paper Sec. 5.
+
+    The VM acquires pages via [mmap_imperfect]-style grants; each page
+    carries a failure bitmap (one bit per 64 B PCM line).  Virtual
+    address translation lets the OS compose any set of physical pages
+    into a contiguous virtual range, so *perfect* pages are a fungible
+    resource: what matters is how many remain, not where they sit
+    ("virtual address translation transparently removes any problem of
+    page-level fragmentation", Sec. 6.1).
+
+    - Relaxed allocators (Immix blocks) draw imperfect pages first,
+      conserving perfect ones; a perfect page offered to a relaxed
+      allocator while debt is outstanding is surrendered to repay one
+      page of debt.
+    - Fussy allocators (LOS, overflow fallback) demand perfect pages;
+      when none remain they receive a borrowed DRAM page and the process
+      goes one page into debt. *)
+
+open Holes_stdx
+
+type page = {
+  id : int;
+  bitmap : Bitset.t;
+  mutable failed_lines : int;  (** failed 64 B PCM lines *)
+  mutable usable_logical : int;
+      (** logical (collector-line-size) lines with no failed PCM line;
+          a page with none is *dead* for this run and never circulates *)
+}
+
+type t = {
+  pages : page array;
+  line_size : int;  (** collector logical line size, for deadness *)
+  mutable free_perfect : int list;  (** ascending address order *)
+  mutable free_imperfect : int list;  (** ascending address order *)
+  mutable dead : int list;  (** pages with no usable logical line *)
+  accounting : Holes_osal.Accounting.t;
+  mutable borrowed_in_use : int;
+  mutable repaid_pages : int;  (** pages surrendered to repay debt *)
+  mutable max_borrowed : int;  (** DRAM borrow cap (DRAM is scarce, Sec. 2.3) *)
+  mutable extra_free_bytes : unit -> int;
+      (** free bytes held outside the stock (e.g. inside partially used
+          collector blocks); part of the "has sufficient memory" test *)
+}
+
+let lines_per_page = Holes_pcm.Geometry.lines_per_page
+
+(* logical lines per page with no failed PCM line *)
+let count_usable_logical ~(line_size : int) (bitmap : Bitset.t) : int =
+  let pcm_per_logical = line_size / Holes_pcm.Geometry.line_bytes in
+  let nlogical = Holes_pcm.Geometry.page_bytes / line_size in
+  let usable = ref 0 in
+  for l = 0 to nlogical - 1 do
+    let rec any i =
+      i < pcm_per_logical && (Bitset.get bitmap ((l * pcm_per_logical) + i) || any (i + 1))
+    in
+    if not (any 0) then incr usable
+  done;
+  !usable
+
+(** Build a stock of [npages] pages whose line failures come from
+    [device_map] (a bitmap over [npages * 64] PCM lines).  [line_size]
+    is the collector's logical line size: pages without a single usable
+    logical line are quarantined as dead - they still count against the
+    budget, exactly like the paper's unusable memory, but never
+    circulate through the allocator. *)
+let create ?(line_size = Holes_pcm.Geometry.line_bytes) ~(device_map : Bitset.t)
+    ~(npages : int) () : t =
+  if Bitset.length device_map < npages * lines_per_page then
+    invalid_arg "Page_stock.create: failure map too small";
+  let pages =
+    Array.init npages (fun p ->
+        let bitmap = Bitset.create lines_per_page in
+        for i = 0 to lines_per_page - 1 do
+          if Bitset.get device_map ((p * lines_per_page) + i) then Bitset.set bitmap i
+        done;
+        {
+          id = p;
+          bitmap;
+          failed_lines = Bitset.count bitmap;
+          usable_logical = count_usable_logical ~line_size bitmap;
+        })
+  in
+  let perfect = ref [] and imperfect = ref [] and dead = ref [] in
+  for p = npages - 1 downto 0 do
+    if pages.(p).failed_lines = 0 then perfect := p :: !perfect
+    else if pages.(p).usable_logical = 0 then dead := p :: !dead
+    else imperfect := p :: !imperfect
+  done;
+  {
+    pages;
+    line_size;
+    free_perfect = !perfect;
+    free_imperfect = !imperfect;
+    dead = !dead;
+    accounting = Holes_osal.Accounting.create ();
+    borrowed_in_use = 0;
+    repaid_pages = 0;
+    max_borrowed = max 16 npages;
+    extra_free_bytes = (fun () -> 0);
+  }
+
+(** Register the collector's view of free bytes held outside the stock
+    (inside partially used blocks). *)
+let set_extra_free (t : t) (f : unit -> int) : unit = t.extra_free_bytes <- f
+
+(** Override the DRAM borrow cap (default: npages/8, min 16). *)
+let set_max_borrowed (t : t) (cap : int) : unit = t.max_borrowed <- cap
+
+let page (t : t) (id : int) : page = t.pages.(id)
+
+let npages (t : t) : int = Array.length t.pages
+
+let free_perfect_count (t : t) : int = List.length t.free_perfect
+
+let free_imperfect_count (t : t) : int = List.length t.free_imperfect
+
+let free_pages (t : t) : int = free_perfect_count t + free_imperfect_count t
+
+let accounting (t : t) : Holes_osal.Accounting.t = t.accounting
+
+(** Total usable (non-failed) lines across free pages — the allocator's
+    view of how much memory a collection could still yield. *)
+let free_usable_bytes (t : t) : int =
+  let line_bytes = Holes_pcm.Geometry.line_bytes in
+  let sum l =
+    List.fold_left (fun acc p -> acc + ((lines_per_page - t.pages.(p).failed_lines) * line_bytes)) 0 l
+  in
+  sum t.free_perfect + sum t.free_imperfect
+
+(** Draw one page for a relaxed allocator.  Imperfect pages first; a
+    perfect page is kept only if no debt is outstanding, otherwise it is
+    surrendered as repayment and the next page is drawn. *)
+let rec take_relaxed (t : t) : int option =
+  match t.free_imperfect with
+  | p :: rest ->
+      t.free_imperfect <- rest;
+      Some p
+  | [] -> (
+      match t.free_perfect with
+      | [] -> None
+      | p :: rest -> (
+          t.free_perfect <- rest;
+          match Holes_osal.Accounting.relaxed_offer_perfect t.accounting with
+          | `Keep -> Some p
+          | `Decline ->
+              t.repaid_pages <- t.repaid_pages + 1;
+              take_relaxed t))
+
+type perfect_grant = Perfect of int | Borrowed | Exhausted
+
+(** Draw one perfect page for a fussy allocator; borrows DRAM (debt)
+    when the perfect pool is empty.  Borrowing follows the paper's
+    "allocator has sufficient memory" condition: each page of
+    outstanding debt docks one page of the process's budget, so a
+    borrow is granted only while the debt is covered by free stock
+    pages (and within the hard DRAM cap).  Otherwise the grant is
+    [Exhausted] and the caller must collect or fail. *)
+let take_perfect (t : t) : perfect_grant =
+  match t.free_perfect with
+  | p :: rest ->
+      t.free_perfect <- rest;
+      Holes_osal.Accounting.fussy_request t.accounting ~pages:1 ~available:1;
+      Perfect p
+  | [] ->
+      let free_budget_pages =
+        free_pages t + (t.extra_free_bytes () / Holes_pcm.Geometry.page_bytes)
+      in
+      if
+        t.borrowed_in_use >= t.max_borrowed
+        || Holes_osal.Accounting.debt t.accounting >= free_budget_pages
+      then Exhausted
+      else begin
+        Holes_osal.Accounting.fussy_request t.accounting ~pages:1 ~available:0;
+        t.borrowed_in_use <- t.borrowed_in_use + 1;
+        Borrowed
+      end
+
+(** Return a stock page to its pool (dead pages are quarantined). *)
+let return_page (t : t) (id : int) : unit =
+  let p = t.pages.(id) in
+  if p.failed_lines = 0 then t.free_perfect <- id :: t.free_perfect
+  else if p.usable_logical = 0 then t.dead <- id :: t.dead
+  else t.free_imperfect <- id :: t.free_imperfect
+
+(** Pages quarantined as fully unusable. *)
+let dead_count (t : t) : int = List.length t.dead
+
+(** Return a borrowed DRAM page (it leaves the process; debt remains
+    until the relaxed allocator repays it). *)
+let return_borrowed (t : t) : unit =
+  if t.borrowed_in_use <= 0 then invalid_arg "Page_stock.return_borrowed: none in use";
+  t.borrowed_in_use <- t.borrowed_in_use - 1;
+  Holes_osal.Accounting.loan_closed t.accounting
+
+let borrowed_in_use (t : t) : int = t.borrowed_in_use
+
+let repaid_pages (t : t) : int = t.repaid_pages
+
+(** Record a *dynamic* failure of 64 B PCM line [line] on page [id], so
+    that future users of the page (reassembled blocks, swap decisions)
+    see the hole.  A free perfect page that gains its first failure
+    migrates to the imperfect pool. *)
+let mark_line_failed (t : t) ~(id : int) ~(line : int) : unit =
+  let p = t.pages.(id) in
+  if not (Bitset.get p.bitmap line) then begin
+    let was_perfect = p.failed_lines = 0 in
+    Bitset.set p.bitmap line;
+    p.failed_lines <- p.failed_lines + 1;
+    p.usable_logical <- count_usable_logical ~line_size:t.line_size p.bitmap;
+    if was_perfect && List.mem id t.free_perfect then begin
+      t.free_perfect <- List.filter (fun x -> x <> id) t.free_perfect;
+      return_page t id;
+      (* return_page pushed it to the right pool; drop the double count *)
+      ()
+    end
+    else if p.usable_logical = 0 && List.mem id t.free_imperfect then begin
+      t.free_imperfect <- List.filter (fun x -> x <> id) t.free_imperfect;
+      t.dead <- id :: t.dead
+    end
+  end

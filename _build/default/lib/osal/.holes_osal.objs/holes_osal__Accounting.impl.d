@@ -1,0 +1,1 @@
+lib/osal/accounting.ml:

@@ -1,0 +1,1 @@
+lib/osal/failure_table.ml: Array Bitset Buffer Holes_pcm Holes_stdx List Page Printf Rle Scanf String

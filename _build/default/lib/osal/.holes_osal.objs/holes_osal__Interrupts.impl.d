@@ -1,0 +1,1 @@
+lib/osal/interrupts.ml: Bytes Failure_table Holes_pcm List Option Pools Vmm

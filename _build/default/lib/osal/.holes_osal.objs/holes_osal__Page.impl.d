@@ -1,0 +1,1 @@
+lib/osal/page.ml: Bitset Format Holes_pcm Holes_stdx

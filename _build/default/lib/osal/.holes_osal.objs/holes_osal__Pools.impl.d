@@ -1,0 +1,1 @@
+lib/osal/pools.ml: Array Fun Hashtbl List Page

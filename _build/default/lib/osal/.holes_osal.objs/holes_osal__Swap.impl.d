@@ -1,0 +1,1 @@
+lib/osal/swap.ml: Bitset Failure_table Holes_stdx List Pools

@@ -1,0 +1,1 @@
+lib/osal/vmm.ml: Bitset Bytes Failure_table Hashtbl Holes_stdx List Option Page Pools Result

@@ -1,0 +1,46 @@
+(** Physical page descriptors (paper Sec. 3.2.1).
+
+    The OS manages DRAM, perfect PCM and imperfect PCM pages in separate
+    pools.  Each PCM page carries a failure bitmap with one bit per 64 B
+    line — 64 bits for a 4 KB page. *)
+
+open Holes_stdx
+
+type kind = Dram | Pcm_perfect | Pcm_imperfect
+
+type t = {
+  id : int;  (** physical page number *)
+  mutable kind : kind;
+  failures : Bitset.t;  (** one bit per line; all clear for DRAM *)
+}
+
+let lines_per_page = Holes_pcm.Geometry.lines_per_page
+
+let create ~(id : int) ~(kind : kind) : t =
+  { id; kind; failures = Bitset.create lines_per_page }
+
+let failed_lines (t : t) : int = Bitset.count t.failures
+
+let usable_lines (t : t) : int = lines_per_page - failed_lines t
+
+let is_perfect (t : t) : bool = failed_lines t = 0
+
+(** Record that line [line] of this page has failed.  Promotes a perfect
+    PCM page to the imperfect kind.  Returns [true] if the line was not
+    already marked. *)
+let mark_line_failed (t : t) ~(line : int) : bool =
+  if t.kind = Dram then invalid_arg "Page.mark_line_failed: DRAM pages do not fail";
+  if Bitset.get t.failures line then false
+  else begin
+    Bitset.set t.failures line;
+    if t.kind = Pcm_perfect then t.kind <- Pcm_imperfect;
+    true
+  end
+
+let pp_kind (ppf : Format.formatter) (k : kind) : unit =
+  Format.pp_print_string ppf
+    (match k with Dram -> "dram" | Pcm_perfect -> "pcm-perfect" | Pcm_imperfect -> "pcm-imperfect")
+
+let pp (ppf : Format.formatter) (t : t) : unit =
+  Format.fprintf ppf "page %d (%a, %d/%d lines usable)" t.id pp_kind t.kind (usable_lines t)
+    lines_per_page

@@ -1,0 +1,97 @@
+(** The three physical page pools (paper Sec. 3.2.1): DRAM, perfect PCM
+    and imperfect PCM.  All PCM pages start perfect; the first line
+    failure moves a page to the imperfect pool.  Imperfect pages are
+    handed out most-usable-first so early allocations see few holes. *)
+
+type t = {
+  pages : Page.t array;  (** all physical pages, indexed by id *)
+  mutable free_dram : int list;
+  mutable free_perfect : int list;
+  mutable free_imperfect : int list;  (** kept sorted by usable lines, desc *)
+  mutable allocated : (int, unit) Hashtbl.t;
+}
+
+let create ~(dram_pages : int) ~(pcm_pages : int) : t =
+  let pages =
+    Array.init (dram_pages + pcm_pages) (fun id ->
+        if id < dram_pages then Page.create ~id ~kind:Page.Dram
+        else Page.create ~id ~kind:Page.Pcm_perfect)
+  in
+  {
+    pages;
+    free_dram = List.init dram_pages Fun.id;
+    free_perfect = List.init pcm_pages (fun i -> dram_pages + i);
+    free_imperfect = [];
+    allocated = Hashtbl.create 64;
+  }
+
+let page (t : t) (id : int) : Page.t = t.pages.(id)
+
+let free_dram_count (t : t) : int = List.length t.free_dram
+let free_perfect_count (t : t) : int = List.length t.free_perfect
+let free_imperfect_count (t : t) : int = List.length t.free_imperfect
+
+let take_from lst =
+  match lst with [] -> None | x :: rest -> Some (x, rest)
+
+(** Allocate a DRAM page, if any remain. *)
+let alloc_dram (t : t) : int option =
+  match take_from t.free_dram with
+  | None -> None
+  | Some (id, rest) ->
+      t.free_dram <- rest;
+      Hashtbl.replace t.allocated id ();
+      Some id
+
+(** Allocate a perfect PCM page, if any remain. *)
+let alloc_perfect (t : t) : int option =
+  match take_from t.free_perfect with
+  | None -> None
+  | Some (id, rest) ->
+      t.free_perfect <- rest;
+      Hashtbl.replace t.allocated id ();
+      Some id
+
+(** Allocate an imperfect PCM page (most usable lines first). *)
+let alloc_imperfect (t : t) : int option =
+  match take_from t.free_imperfect with
+  | None -> None
+  | Some (id, rest) ->
+      t.free_imperfect <- rest;
+      Hashtbl.replace t.allocated id ();
+      Some id
+
+(** Allocate any PCM page, preferring imperfect (conserving the scarce
+    perfect pool, as a failure-aware process should). *)
+let alloc_pcm_any (t : t) : int option =
+  match alloc_imperfect t with Some id -> Some id | None -> alloc_perfect t
+
+let insert_imperfect_sorted (t : t) (id : int) : unit =
+  let u = Page.usable_lines t.pages.(id) in
+  let rec ins = function
+    | [] -> [ id ]
+    | x :: rest as l -> if Page.usable_lines t.pages.(x) < u then id :: l else x :: ins rest
+  in
+  t.free_imperfect <- ins t.free_imperfect
+
+(** Return a page to the appropriate free pool. *)
+let free (t : t) (id : int) : unit =
+  if not (Hashtbl.mem t.allocated id) then invalid_arg "Pools.free: page not allocated";
+  Hashtbl.remove t.allocated id;
+  let p = t.pages.(id) in
+  match p.Page.kind with
+  | Page.Dram -> t.free_dram <- id :: t.free_dram
+  | Page.Pcm_perfect -> t.free_perfect <- id :: t.free_perfect
+  | Page.Pcm_imperfect -> insert_imperfect_sorted t id
+
+(** Record a line failure on page [id]; if the page was in the free
+    perfect pool it migrates to the free imperfect pool. *)
+let mark_line_failed (t : t) ~(page : int) ~(line : int) : bool =
+  let p = t.pages.(page) in
+  let was_free_perfect = List.mem page t.free_perfect in
+  let changed = Page.mark_line_failed p ~line in
+  if changed && was_free_perfect then begin
+    t.free_perfect <- List.filter (fun x -> x <> page) t.free_perfect;
+    insert_imperfect_sorted t page
+  end;
+  changed

@@ -1,0 +1,1 @@
+lib/pcm/device.ml: Array Bitset Bytes Failure_buffer Geometry Hashtbl Holes_stdx List Redirect Wear Xrng

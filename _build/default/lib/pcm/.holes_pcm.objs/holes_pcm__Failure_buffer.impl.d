@@ -1,0 +1,1 @@
+lib/pcm/failure_buffer.ml: Bytes List Option

@@ -1,0 +1,1 @@
+lib/pcm/failure_map.ml: Array Bitset Float Fun Geometry Holes_stdx Xrng

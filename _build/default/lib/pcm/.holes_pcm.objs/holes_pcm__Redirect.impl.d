@@ -1,0 +1,1 @@
+lib/pcm/redirect.ml: Array Fun Geometry List

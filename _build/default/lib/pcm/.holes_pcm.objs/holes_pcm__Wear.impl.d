@@ -1,0 +1,1 @@
+lib/pcm/wear.ml: Holes_stdx

@@ -1,0 +1,1 @@
+lib/pcm/wear_level.ml: Array Fun

@@ -1,0 +1,195 @@
+(** A whole PCM module: an array of pages of wearable lines, the write
+    path with failure detection, the failure buffer, and (optionally) the
+    failure-clustering engine (paper Sec. 3.1).
+
+    Reads and writes address *logical* line indices; the device applies
+    the per-region redirection maps internally, exactly as the memory
+    module would below the physical address the cache hierarchy issues.
+    Data payloads are stored per line so the failure-buffer forwarding
+    and OS copy-out paths are real, not mocked. *)
+
+open Holes_stdx
+
+type config = {
+  pages : int;
+  wear : Wear.params;
+  clustering : int option;  (** region size in pages; [None] disables clustering *)
+  buffer_capacity : int;
+}
+
+let default_config =
+  {
+    pages = 64;
+    wear = Wear.fast_params;
+    clustering = Some Geometry.default_region_pages;
+    buffer_capacity = 32;
+  }
+
+type t = {
+  config : config;
+  nlines : int;
+  rng : Xrng.t;
+  lines : Wear.line array;  (** indexed by physical line *)
+  data : (int, Bytes.t) Hashtbl.t;  (** physical line -> payload *)
+  buffer : Failure_buffer.t;
+  regions : Redirect.t array;  (** empty when clustering is off *)
+  region_lines : int;  (** lines per region (or whole device when off) *)
+  mutable failed_unclustered : Bitset.t;  (** logical failures when clustering is off *)
+  mutable on_line_failed : addr:int -> unusable:int list -> unit;
+      (** OS callback: the logical address whose write failed, and the
+          logical line indices newly unusable (with clustering these
+          differ: the failed physical line is redirected to the cluster
+          end, so the *boundary* slot becomes unusable while [addr]
+          is re-backed by a working line) *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable failures : int;
+}
+
+let create ?(config = default_config) ~(seed : int) () : t =
+  let nlines = config.pages * Geometry.lines_per_page in
+  let rng = Xrng.of_seed seed in
+  let lines = Array.init nlines (fun _ -> Wear.fresh_line rng config.wear) in
+  let regions, region_lines =
+    match config.clustering with
+    | None -> ([||], nlines)
+    | Some region_pages ->
+        if config.pages mod region_pages <> 0 then
+          invalid_arg "Device.create: pages must be a multiple of the region size";
+        let rl = Geometry.lines_per_region ~region_pages in
+        ( Array.init (config.pages / region_pages) (fun i ->
+              Redirect.create ~region_pages ~region_index:i ()),
+          rl )
+  in
+  {
+    config;
+    nlines;
+    rng;
+    lines;
+    data = Hashtbl.create 1024;
+    buffer = Failure_buffer.create ~capacity:config.buffer_capacity ();
+    regions;
+    region_lines;
+    failed_unclustered = Bitset.create nlines;
+    on_line_failed = (fun ~addr:_ ~unusable:_ -> ());
+    reads = 0;
+    writes = 0;
+    failures = 0;
+  }
+
+let nlines (t : t) : int = t.nlines
+
+let npages (t : t) : int = t.config.pages
+
+let buffer (t : t) : Failure_buffer.t = t.buffer
+
+(** Register the OS notification callback, called after a write failure
+    with the failing logical address and the logical lines that became
+    unusable (the clustered slot plus, on a region's first failure, the
+    redirection-map metadata). *)
+let on_line_failed (t : t) (f : addr:int -> unusable:int list -> unit) : unit =
+  t.on_line_failed <- f
+
+let check_line t l =
+  if l < 0 || l >= t.nlines then invalid_arg "Device: line index out of range"
+
+(* logical -> physical through the region redirection map *)
+let physical_of_logical (t : t) (logical : int) : int =
+  if Array.length t.regions = 0 then logical
+  else
+    let r = logical / t.region_lines in
+    let off = logical mod t.region_lines in
+    (r * t.region_lines) + Redirect.translate t.regions.(r) off
+
+(** Is the logical line currently usable (not failed, not metadata)? *)
+let line_usable (t : t) (logical : int) : bool =
+  check_line t logical;
+  if Array.length t.regions = 0 then not (Bitset.get t.failed_unclustered logical)
+  else
+    let r = logical / t.region_lines in
+    let off = logical mod t.region_lines in
+    not (List.mem off (Redirect.unusable_logical t.regions.(r)))
+
+(** Read the 64 B payload of logical line [l].  The failure buffer is
+    checked in parallel and forwards the latest value for a line whose
+    failure the OS has not yet drained. *)
+let read (t : t) (logical : int) : Bytes.t =
+  check_line t logical;
+  t.reads <- t.reads + 1;
+  let physical = physical_of_logical t logical in
+  match Failure_buffer.forward t.buffer ~addr:logical with
+  | Some data -> Bytes.copy data
+  | None -> (
+      match Hashtbl.find_opt t.data physical with
+      | Some b -> Bytes.copy b
+      | None -> Bytes.make Geometry.line_bytes '\000')
+
+type write_result =
+  | Stored  (** write succeeded (possibly via an ECP correction) *)
+  | Write_failed  (** line permanently failed; data preserved in the buffer *)
+  | Stalled  (** device is refusing writes until the OS drains the buffer *)
+
+(** Write a 64 B payload to logical line [l], advancing the wear model.
+    On a permanent failure the data goes to the failure buffer, the OS
+    callback fires with the newly unusable logical lines, and the result
+    is [Write_failed]. *)
+let write (t : t) (logical : int) (payload : Bytes.t) : write_result =
+  check_line t logical;
+  if Bytes.length payload <> Geometry.line_bytes then
+    invalid_arg "Device.write: payload must be exactly one line";
+  if Failure_buffer.is_stalled t.buffer then Stalled
+  else begin
+    t.writes <- t.writes + 1;
+    let physical = physical_of_logical t logical in
+    match Wear.write t.rng t.config.wear t.lines.(physical) with
+    | Wear.Ok | Wear.Corrected ->
+        Hashtbl.replace t.data physical (Bytes.copy payload);
+        Stored
+    | Wear.Failed ->
+        t.failures <- t.failures + 1;
+        let inserted = Failure_buffer.insert t.buffer ~addr:logical ~data:payload in
+        if not inserted then failwith "Device.write: failure buffer overflow (model error)";
+        let newly_unusable =
+          if Array.length t.regions = 0 then begin
+            Bitset.set t.failed_unclustered logical;
+            [ logical ]
+          end
+          else begin
+            let r = logical / t.region_lines in
+            let base = r * t.region_lines in
+            Redirect.record_failure t.regions.(r) ~physical:(physical - base)
+            |> List.map (fun off -> base + off)
+          end
+        in
+        t.on_line_failed ~addr:logical ~unusable:newly_unusable;
+        Write_failed
+  end
+
+(** OS drain path: acknowledge (and drop) the buffered failure for the
+    failing logical address, after the OS has relocated (or restored)
+    the data.  Returns the preserved payload. *)
+let drain_failure (t : t) (logical : int) : Bytes.t option =
+  check_line t logical;
+  match Failure_buffer.forward t.buffer ~addr:logical with
+  | None -> None
+  | Some data ->
+      ignore (Failure_buffer.clear t.buffer ~addr:logical);
+      Some data
+
+(** Logical indices of all currently unusable lines. *)
+let unusable_lines (t : t) : int list =
+  if Array.length t.regions = 0 then begin
+    let acc = ref [] in
+    Bitset.iter_set t.failed_unclustered (fun i -> acc := i :: !acc);
+    List.rev !acc
+  end
+  else
+    Array.to_list t.regions
+    |> List.mapi (fun r reg ->
+           Redirect.unusable_logical reg |> List.map (fun off -> (r * t.region_lines) + off))
+    |> List.concat
+
+type stats = { reads : int; writes : int; failures : int; buffer : Failure_buffer.stats }
+
+let stats (t : t) : stats =
+  { reads = t.reads; writes = t.writes; failures = t.failures; buffer = Failure_buffer.stats t.buffer }

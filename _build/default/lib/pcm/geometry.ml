@@ -1,0 +1,43 @@
+(** PCM geometry constants, matching the paper's assumptions
+    (Sec. 1, Sec. 3): 64 B lines, 4 KB pages, so 64 lines per page;
+    clustering regions of one or more pages (two pages = 128 lines is the
+    paper's default, "128 by default in our experiments"). *)
+
+(** Bytes per PCM line — the hardware write granularity and the finest
+    failure granularity. *)
+let line_bytes = 64
+
+(** Bytes per physical page. *)
+let page_bytes = 4096
+
+(** Lines per page: 64. *)
+let lines_per_page = page_bytes / line_bytes
+
+(** Default clustering region size in pages (paper default: two-page
+    regions, 128 lines). *)
+let default_region_pages = 2
+
+let lines_per_region ~(region_pages : int) : int = region_pages * lines_per_page
+
+(** Bits required by a redirection map for a region of [region_pages]
+    pages: one entry of ceil(log2 n) bits per line, plus one boundary
+    pointer field of the same width.  For the 2-page default this is the
+    paper's 889 bits ("126 7-bit fields ... and one 7-bit field"), which
+    fits in two 64 B lines. *)
+let redirection_map_bits ~(region_pages : int) : int =
+  let n = lines_per_region ~region_pages in
+  let entry_bits =
+    let rec log2_ceil v acc = if v <= 1 then acc else log2_ceil ((v + 1) / 2) (acc + 1) in
+    log2_ceil n 0
+  in
+  (* n - 2 data entries: the paper stores the map in-line, consuming the
+     metadata lines themselves (126 entries for a 128-line region), plus
+     the boundary pointer. *)
+  let meta_lines = ((n * entry_bits) + (line_bytes * 8) - 1) / (line_bytes * 8) in
+  (((n - meta_lines) * entry_bits) + entry_bits) |> fun bits -> bits
+
+(** Number of 64 B lines consumed by the redirection map metadata for a
+    region (2 lines for the 2-page default). *)
+let redirection_meta_lines ~(region_pages : int) : int =
+  let bits = redirection_map_bits ~region_pages in
+  (bits + (line_bytes * 8) - 1) / (line_bytes * 8)

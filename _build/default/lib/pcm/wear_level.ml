@@ -1,0 +1,78 @@
+(** Start-gap wear leveling (Qureshi et al., MICRO 2009 — cited as [17]).
+
+    The paper argues (Sec. 7.2, "Wear Leveling Considered Harmful") that
+    uniformly wearing memory spreads failures out, fragmenting it, while
+    concentrated wear keeps failures clustered and is more transparent to
+    failure-aware software.  We implement start-gap so the ablation in
+    [bench wearlevel] can compare leveled and unleveled wear-out under the
+    failure-aware runtime.
+
+    Start-gap maps N logical lines onto N+1 physical slots.  One slot — the
+    gap — holds no data.  Every [psi] writes, the line adjacent to the gap
+    moves into it and the gap advances by one; after the gap traverses the
+    whole region, every line has shifted by one slot.  We maintain the
+    permutation explicitly (swapping into the gap), which keeps the model
+    honest (it is a permutation by construction) at O(1) per move. *)
+
+type t = {
+  n : int;  (** logical lines *)
+  psi : int;  (** writes between gap movements *)
+  map : int array;  (** logical line -> physical slot, size n *)
+  slot_of : int array;  (** physical slot -> logical line or -1 for the gap *)
+  mutable gap : int;  (** physical slot currently empty *)
+  mutable writes_since_move : int;
+  mutable gap_moves : int;  (** total gap movements (each costs one line copy) *)
+}
+
+let create ?(psi = 100) ~(nlines : int) () : t =
+  if nlines <= 0 then invalid_arg "Wear_level.create: nlines must be positive";
+  if psi <= 0 then invalid_arg "Wear_level.create: psi must be positive";
+  {
+    n = nlines;
+    psi;
+    map = Array.init nlines Fun.id;
+    slot_of = Array.init (nlines + 1) (fun s -> if s = nlines then -1 else s);
+    gap = nlines;
+    writes_since_move = 0;
+    gap_moves = 0;
+  }
+
+(** Physical slot currently holding logical line [l]. *)
+let translate (t : t) (l : int) : int =
+  if l < 0 || l >= t.n then invalid_arg "Wear_level.translate: out of range";
+  t.map.(l)
+
+let move_gap (t : t) : unit =
+  (* the line in the slot "before" the gap (cyclically) moves into the gap *)
+  let prev = (t.gap + t.n) mod (t.n + 1) in
+  let l = t.slot_of.(prev) in
+  if l >= 0 then begin
+    t.map.(l) <- t.gap;
+    t.slot_of.(t.gap) <- l
+  end
+  else t.slot_of.(t.gap) <- -1;
+  t.slot_of.(prev) <- -1;
+  t.gap <- prev;
+  t.gap_moves <- t.gap_moves + 1
+
+(** Account one write to logical line [l]; returns the physical slot that
+    absorbed the write.  Triggers a gap move every [psi] writes. *)
+let write (t : t) (l : int) : int =
+  let slot = translate t l in
+  t.writes_since_move <- t.writes_since_move + 1;
+  if t.writes_since_move >= t.psi then begin
+    t.writes_since_move <- 0;
+    move_gap t
+  end;
+  slot
+
+let gap_moves (t : t) : int = t.gap_moves
+
+(** Invariant check for property tests: [map]/[slot_of] are mutually
+    inverse and exactly one slot is the gap. *)
+let is_consistent (t : t) : bool =
+  let gap_count = ref 0 in
+  Array.iter (fun l -> if l = -1 then incr gap_count) t.slot_of;
+  !gap_count = 1
+  && t.slot_of.(t.gap) = -1
+  && Array.for_all Fun.id (Array.init t.n (fun l -> t.slot_of.(t.map.(l)) = l))

@@ -1,0 +1,1 @@
+lib/stdx/dist.ml: Array Float List Xrng

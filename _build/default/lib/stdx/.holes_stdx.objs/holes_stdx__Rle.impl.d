@@ -1,0 +1,1 @@
+lib/stdx/rle.ml: Array List

@@ -1,0 +1,1 @@
+lib/stdx/xrng.ml: Array Int64 Stdlib

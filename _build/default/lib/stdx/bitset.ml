@@ -1,0 +1,100 @@
+(** Compact fixed-size bitsets.
+
+    Used for per-page failure bitmaps (one bit per 64 B PCM line: a 4 KB
+    page needs 64 bits, cf. paper Sec. 3.2.1) and for line-level masks in
+    the failure-map generator. *)
+
+type t = { len : int; words : Bytes.t }
+
+let bits_per_word = 8
+
+let create (len : int) : t =
+  if len < 0 then invalid_arg "Bitset.create: negative length";
+  { len; words = Bytes.make ((len + bits_per_word - 1) / bits_per_word) '\000' }
+
+let length (t : t) : int = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitset: index out of bounds"
+
+let get (t : t) (i : int) : bool =
+  check t i;
+  Char.code (Bytes.get t.words (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set (t : t) (i : int) : unit =
+  check t i;
+  let w = i / 8 in
+  Bytes.set t.words w (Char.chr (Char.code (Bytes.get t.words w) lor (1 lsl (i mod 8))))
+
+let clear (t : t) (i : int) : unit =
+  check t i;
+  let w = i / 8 in
+  Bytes.set t.words w (Char.chr (Char.code (Bytes.get t.words w) land lnot (1 lsl (i mod 8)) land 0xFF))
+
+let assign (t : t) (i : int) (v : bool) : unit = if v then set t i else clear t i
+
+(* popcount of a byte, precomputed *)
+let popc =
+  Array.init 256 (fun i ->
+      let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+      go i 0)
+
+(** Number of set bits. *)
+let count (t : t) : int =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popc.(Char.code c)) t.words;
+  !n
+
+let copy (t : t) : t = { len = t.len; words = Bytes.copy t.words }
+
+let fill (t : t) (v : bool) : unit =
+  Bytes.fill t.words 0 (Bytes.length t.words) (if v then '\255' else '\000');
+  (* clear trailing bits beyond len so [count] stays exact *)
+  if v then
+    for i = t.len to (Bytes.length t.words * 8) - 1 do
+      let w = i / 8 in
+      Bytes.set t.words w (Char.chr (Char.code (Bytes.get t.words w) land lnot (1 lsl (i mod 8)) land 0xFF))
+    done
+
+(** [iter_set t f] calls [f i] for every set bit index, ascending. *)
+let iter_set (t : t) (f : int -> unit) : unit =
+  for i = 0 to t.len - 1 do
+    if get t i then f i
+  done
+
+(** [subset a b] is true when every bit set in [a] is also set in [b].
+    The OS swap policy (paper Sec. 3.2.3) uses this to test whether a
+    destination page's failures are a subset of the source page's. *)
+let subset (a : t) (b : t) : bool =
+  if a.len <> b.len then invalid_arg "Bitset.subset: length mismatch";
+  let ok = ref true in
+  for w = 0 to Bytes.length a.words - 1 do
+    let aw = Char.code (Bytes.get a.words w) and bw = Char.code (Bytes.get b.words w) in
+    if aw land lnot bw <> 0 then ok := false
+  done;
+  !ok
+
+let equal (a : t) (b : t) : bool =
+  a.len = b.len && Bytes.equal a.words b.words
+
+(** First index >= [from] whose bit is clear; [None] if none. *)
+let next_clear (t : t) (from : int) : int option =
+  let rec go i = if i >= t.len then None else if not (get t i) then Some i else go (i + 1) in
+  go (max 0 from)
+
+(** First index >= [from] whose bit is set; [None] if none. *)
+let next_set (t : t) (from : int) : int option =
+  let rec go i = if i >= t.len then None else if get t i then Some i else go (i + 1) in
+  go (max 0 from)
+
+let to_bool_array (t : t) : bool array = Array.init t.len (get t)
+
+let of_bool_array (a : bool array) : t =
+  let t = create (Array.length a) in
+  Array.iteri (fun i v -> if v then set t i) a;
+  t
+
+let pp (ppf : Format.formatter) (t : t) : unit =
+  for i = 0 to t.len - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '.')
+  done

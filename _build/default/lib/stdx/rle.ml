@@ -1,0 +1,63 @@
+(** Run-length encoding of boolean sequences.
+
+    The paper (Sec. 3.2.1) notes the OS failure table is ~1.6% of PCM and
+    that "run-length encoding or other simple encoding techniques may
+    provide high compression rates", especially while failure counts are
+    low.  We implement RLE so the OS failure table can report its
+    compressed footprint, and so tests can validate the claim. *)
+
+type run = { value : bool; length : int }
+
+type t = run list
+
+(** [encode bits] produces maximal runs, in order. *)
+let encode (bits : bool array) : t =
+  let n = Array.length bits in
+  if n = 0 then []
+  else begin
+    let runs = ref [] in
+    let cur = ref bits.(0) in
+    let len = ref 1 in
+    for i = 1 to n - 1 do
+      if bits.(i) = !cur then incr len
+      else begin
+        runs := { value = !cur; length = !len } :: !runs;
+        cur := bits.(i);
+        len := 1
+      end
+    done;
+    runs := { value = !cur; length = !len } :: !runs;
+    List.rev !runs
+  end
+
+let decode (t : t) : bool array =
+  let total = List.fold_left (fun acc r -> acc + r.length) 0 t in
+  let out = Array.make total false in
+  let i = ref 0 in
+  List.iter
+    (fun r ->
+      for _ = 1 to r.length do
+        out.(!i) <- r.value;
+        incr i
+      done)
+    t;
+  out
+
+(** Size in bits of a simple serialization: each run is 1 value bit plus a
+    varint-style length (7 bits per group).  Used only for the compression
+    statistic the paper alludes to. *)
+let encoded_bits (t : t) : int =
+  List.fold_left
+    (fun acc r ->
+      let rec varint_groups n = if n < 128 then 1 else 1 + varint_groups (n lsr 7) in
+      acc + 1 + (8 * varint_groups r.length))
+    0 t
+
+(** Compression ratio vs. a raw bitmap: [raw_bits / encoded_bits]; > 1
+    means RLE wins. *)
+let compression_ratio (bits : bool array) : float =
+  let raw = Array.length bits in
+  if raw = 0 then 1.0
+  else
+    let enc = encoded_bits (encode bits) in
+    float_of_int raw /. float_of_int (max 1 enc)

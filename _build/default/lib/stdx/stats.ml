@@ -1,0 +1,67 @@
+(** Descriptive statistics used by the experiment harness.
+
+    The paper reports means of 20 invocations with 95% confidence
+    intervals and aggregates across benchmarks with geometric means
+    (Sec. 5); this module provides exactly those reductions. *)
+
+let mean (xs : float list) : float =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean (xs : float list) : float =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | _ ->
+      List.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: non-positive") xs;
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let variance (xs : float list) : float =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs /. (n -. 1.0)
+
+let stddev (xs : float list) : float = sqrt (variance xs)
+
+(** Two-sided 95% confidence half-interval for the mean, using the normal
+    approximation (1.96 * s / sqrt n); adequate for the trial counts the
+    harness uses and matching the paper's reporting style. *)
+let ci95 (xs : float list) : float =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ -> 1.96 *. stddev xs /. sqrt (float_of_int (List.length xs))
+
+let minimum (xs : float list) : float =
+  match xs with [] -> invalid_arg "Stats.minimum: empty" | x :: r -> List.fold_left min x r
+
+let maximum (xs : float list) : float =
+  match xs with [] -> invalid_arg "Stats.maximum: empty" | x :: r -> List.fold_left max x r
+
+(** [percentile p xs] with linear interpolation, p in [0,100]. *)
+let percentile (p : float) (xs : float list) : float =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+      if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n = 1 then a.(0)
+      else
+        let rank = p /. 100.0 *. float_of_int (n - 1) in
+        let lo = int_of_float (floor rank) in
+        let hi = min (n - 1) (lo + 1) in
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+(** Summary of a sample: mean, 95% CI, min, max. *)
+type summary = { mean : float; ci95 : float; min : float; max : float; n : int }
+
+let summarize (xs : float list) : summary =
+  { mean = mean xs; ci95 = ci95 xs; min = minimum xs; max = maximum xs; n = List.length xs }
+
+let pp_summary (ppf : Format.formatter) (s : summary) : unit =
+  Format.fprintf ppf "%.4f ±%.4f [%.4f, %.4f] (n=%d)" s.mean s.ci95 s.min s.max s.n

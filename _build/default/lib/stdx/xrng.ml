@@ -1,0 +1,95 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Every stochastic component in the reproduction (failure-map generation,
+    workload object sizes and lifetimes, wear process variation) draws from
+    one of these generators so that experiments are exactly reproducible
+    from a seed.  The implementation is SplitMix64 (Steele et al., OOPSLA
+    2014) for stream derivation plus xoshiro256** (Blackman & Vigna, 2018)
+    for the bulk stream.  Both are implemented over OCaml's 63-bit-safe
+    [Int64] operations. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 step: used for seeding and for [split]. *)
+let splitmix_next (state : int64 ref) : int64 =
+  state := Int64.add !state golden;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed (seed : int) : t =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  (* xoshiro must not be seeded with all zeros; seed 0 through splitmix is
+     fine, but guard anyway. *)
+  let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
+  { s0; s1; s2; s3 }
+
+let rotl (x : int64) (k : int) : int64 =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next. *)
+let next_int64 (t : t) : int64 =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each benchmark trial / page / component its own stream. *)
+let split (t : t) : t =
+  let st = ref (next_int64 t) in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
+  { s0; s1; s2; s3 }
+
+(** [bits53 t] returns a non-negative int uniform in [0, 2^53). *)
+let bits53 (t : t) : int =
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 11)
+
+(** [float t] is uniform in [0, 1). *)
+let float (t : t) : float =
+  Stdlib.float_of_int (bits53 t) *. 0x1p-53
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] on a
+    non-positive bound. *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Xrng.int: bound must be positive";
+  (* Rejection-free for our purposes: bias is negligible for bound << 2^53. *)
+  bits53 t mod bound
+
+(** [bool t] is a fair coin flip. *)
+let bool (t : t) : bool = Int64.logand (next_int64 t) 1L = 1L
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+let range (t : t) (lo : int) (hi : int) : int =
+  if hi < lo then invalid_arg "Xrng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+let shuffle (t : t) (a : 'a array) : unit =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/workload/dacapo.ml: List Profile

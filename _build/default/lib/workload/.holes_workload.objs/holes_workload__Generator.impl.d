@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Dist Heapq Holes Holes_heap Holes_stdx Profile Xrng

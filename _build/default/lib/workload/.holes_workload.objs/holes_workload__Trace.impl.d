@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Generator Heapq Holes Holes_heap Holes_stdx List Profile Xrng

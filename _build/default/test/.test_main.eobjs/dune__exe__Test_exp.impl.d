@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Holes Holes_exp Holes_pcm Holes_stdx Holes_workload String

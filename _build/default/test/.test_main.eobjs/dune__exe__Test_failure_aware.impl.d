@@ -1,0 +1,1 @@
+test/test_failure_aware.ml: Alcotest Array Holes Holes_heap Holes_osal Holes_pcm Holes_stdx Holes_workload List Queue

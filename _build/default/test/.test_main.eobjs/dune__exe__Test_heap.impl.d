@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Block Fun Holes_heap Holes_osal Holes_pcm Holes_stdx List Object_table Option Page_stock Remset Units

@@ -1,0 +1,1 @@
+test/test_immix.ml: Alcotest Array Holes Holes_heap Holes_stdx List

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Holes Holes_heap Holes_osal Holes_pcm Holes_stdx Holes_workload List Printf Queue

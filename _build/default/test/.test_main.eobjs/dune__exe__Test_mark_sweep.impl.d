@@ -1,0 +1,1 @@
+test/test_mark_sweep.ml: Alcotest Holes Holes_heap List Printf

@@ -1,0 +1,1 @@
+test/test_osal.ml: Accounting Alcotest Bytes Failure_table Holes_osal Holes_pcm Holes_stdx Interrupts List Option Page Pools Result Swap Vmm

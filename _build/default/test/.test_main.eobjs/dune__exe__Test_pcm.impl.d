@@ -1,0 +1,1 @@
+test/test_pcm.ml: Alcotest Bytes Device Failure_buffer Failure_map Fmt Fun Gen Geometry Hashtbl Holes_pcm Holes_stdx List Option Printf QCheck QCheck_alcotest Redirect Wear Wear_level

@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Bitset Dist Fun Gen Heapq Holes_stdx Intvec List QCheck QCheck_alcotest Rle Stats String Table Xrng

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Format Holes Holes_heap Holes_stdx Holes_workload Option String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Holes Holes_heap Holes_stdx Holes_workload List Printf

@@ -1,0 +1,283 @@
+(* Tests for the failure-aware extensions (paper Sec. 4.2): static
+   failure intake, false-failure widening, hole skipping, overflow
+   re-search, perfect-block fallback, dynamic failure evacuation,
+   compensation, and the paper's qualitative claims. *)
+
+module Cfg = Holes.Config
+module Vm = Holes.Vm
+module Metrics = Holes.Metrics
+module OT = Holes_heap.Object_table
+module Bitset = Holes_stdx.Bitset
+
+let check = Alcotest.check
+
+let mk ?(rate = 0.25) ?(dist = Cfg.Uniform) ?(line = 256) ?(heap = 1 lsl 20) ?device_map () =
+  let cfg =
+    { Cfg.default with Cfg.failure_rate = rate; failure_dist = dist; line_size = line }
+  in
+  Vm.create ~cfg ?device_map ~min_heap_bytes:heap ()
+
+let run_churn ?(sizes = [| 64; 128; 512; 2048 |]) ?(n = 5000) vm =
+  let rng = Holes_stdx.Xrng.of_seed 9 in
+  let prev = ref [] in
+  for _ = 1 to n do
+    let size = sizes.(Holes_stdx.Xrng.int rng (Array.length sizes)) in
+    let id = Vm.alloc vm ~size () in
+    prev := id :: !prev;
+    if List.length !prev > 50 then begin
+      match List.rev !prev with
+      | oldest :: _ ->
+          Vm.kill vm oldest;
+          prev := List.filter (fun x -> x <> oldest) !prev
+      | [] -> ()
+    end
+  done
+
+let assert_no_live_on_failed vm =
+  Vm.collect vm ~full:true;
+  match Vm.check_invariants vm with Ok () -> () | Error m -> Alcotest.fail m
+
+let test_never_allocates_on_failed_lines () =
+  let vm = mk ~rate:0.3 () in
+  run_churn vm;
+  (* the invariant checker rejects any live object overlapping a failed
+     line *)
+  assert_no_live_on_failed vm
+
+let test_never_allocates_on_failed_lines_64 () =
+  let vm = mk ~rate:0.3 ~line:64 () in
+  run_churn vm;
+  assert_no_live_on_failed vm
+
+let test_zero_failures_zero_overhead () =
+  (* the failure-aware collector with an all-clear failure map must
+     behave identically to the baseline (paper: "no measurable
+     overhead") — same cost model events, same modeled time *)
+  let profile = Holes_workload.Profile.scaled Holes_workload.Dacapo.pmd 0.1 in
+  let heap = Holes_workload.Profile.min_heap profile in
+  let run cfg =
+    let vm = Vm.create ~cfg ~min_heap_bytes:heap () in
+    let res = Holes_workload.Generator.run ~rng:(Holes_stdx.Xrng.of_seed 5) vm profile in
+    res.Holes_workload.Generator.elapsed_ms
+  in
+  let base = run Cfg.default in
+  (* identical config but routed through the failure-map machinery with
+     an explicitly empty map *)
+  let empty_map ~npages = Bitset.create (npages * Holes_pcm.Geometry.lines_per_page) in
+  let vm2 = Vm.create ~cfg:Cfg.default ~device_map:empty_map ~min_heap_bytes:heap () in
+  let res2 = Holes_workload.Generator.run ~rng:(Holes_stdx.Xrng.of_seed 5) vm2 profile in
+  check (Alcotest.float 1e-6) "identical modeled time" base
+    res2.Holes_workload.Generator.elapsed_ms
+
+let test_failures_add_overhead () =
+  let profile = Holes_workload.Profile.scaled Holes_workload.Dacapo.pmd 0.1 in
+  let heap = Holes_workload.Profile.min_heap profile in
+  let run cfg =
+    let vm = Vm.create ~cfg ~min_heap_bytes:heap () in
+    let res = Holes_workload.Generator.run ~rng:(Holes_stdx.Xrng.of_seed 5) vm profile in
+    (res.Holes_workload.Generator.completed, res.Holes_workload.Generator.elapsed_ms)
+  in
+  let _, base = run Cfg.default in
+  let ok10, t10 = run { Cfg.default with Cfg.failure_rate = 0.10 } in
+  Alcotest.(check bool) "10% uniform completes" true ok10;
+  Alcotest.(check bool) "failures cost time" true (t10 > base)
+
+let test_clustering_beats_uniform () =
+  let profile = Holes_workload.Profile.scaled Holes_workload.Dacapo.pmd 0.1 in
+  let heap = Holes_workload.Profile.min_heap profile in
+  let run cfg =
+    let vm = Vm.create ~cfg ~min_heap_bytes:heap () in
+    let res = Holes_workload.Generator.run ~rng:(Holes_stdx.Xrng.of_seed 5) vm profile in
+    res.Holes_workload.Generator.elapsed_ms
+  in
+  let uniform = run { Cfg.default with Cfg.failure_rate = 0.10 } in
+  let clustered =
+    run { Cfg.default with Cfg.failure_rate = 0.10; failure_dist = Cfg.Hw_cluster 2 }
+  in
+  Alcotest.(check bool) "2CL faster than uniform at 10%" true (clustered < uniform)
+
+let test_compensation_grows_heap () =
+  let vm_nc =
+    Vm.create
+      ~cfg:{ Cfg.default with Cfg.failure_rate = 0.25; compensate = false }
+      ~min_heap_bytes:(1 lsl 20) ()
+  in
+  let vm_c =
+    Vm.create ~cfg:{ Cfg.default with Cfg.failure_rate = 0.25 } ~min_heap_bytes:(1 lsl 20) ()
+  in
+  let pages vm = Holes_heap.Page_stock.npages (Vm.stock vm) in
+  (* h/(1-f): 25% failures -> 4/3 more pages *)
+  Alcotest.(check bool) "compensated heap is ~4/3 larger" true
+    (float_of_int (pages vm_c) /. float_of_int (pages vm_nc) > 1.30)
+
+let test_overflow_search_and_perfect_fallback () =
+  (* at a high uniform rate with 256B lines, mediums cannot fit holes:
+     the FA path must search the overflow block and then fall back to
+     perfect blocks rather than failing *)
+  let vm = mk ~rate:0.4 ~heap:(1 lsl 20) () in
+  for _ = 1 to 200 do
+    let id = Vm.alloc vm ~size:4000 () in
+    Vm.kill vm id
+  done;
+  let m = Vm.metrics vm in
+  Alcotest.(check bool) "overflow searches happened" true (m.Metrics.overflow_searches > 0);
+  Alcotest.(check bool) "perfect fallbacks happened" true (m.Metrics.perfect_block_fallbacks > 0)
+
+let test_false_failures_waste_memory () =
+  (* identical 64B failure map: L256 must lose more usable memory than
+     L64 (the Sec. 6.2 false-failure effect), measured by OOM behaviour
+     at a heap size only L64 survives *)
+  let rate = 0.35 in
+  let try_line line =
+    let cfg =
+      { Cfg.default with Cfg.failure_rate = rate; line_size = line; compensate = true }
+    in
+    let vm = Vm.create ~cfg ~min_heap_bytes:(1 lsl 19) () in
+    try
+      (* live set ~60% of nominal heap *)
+      for _ = 1 to 4900 do
+        ignore (Vm.alloc vm ~size:64 ())
+      done;
+      true
+    with Vm.Out_of_memory -> false
+  in
+  Alcotest.(check bool) "L64 completes" true (try_line 64);
+  Alcotest.(check bool) "L256 OOMs from false failures" false (try_line 256)
+
+let test_dynamic_failure_free_line () =
+  let vm = mk ~rate:0.0 () in
+  let id = Vm.alloc vm ~size:64 () in
+  let addr = OT.addr (Vm.objects vm) id in
+  (* fail a free line in the same block, far from the object and the
+     bump cursor: no evacuation needed *)
+  Vm.dynamic_failure_at vm ~addr:(addr + 16384);
+  check Alcotest.int "no full GC for free-line failure" 0 (Vm.metrics vm).Metrics.full_gcs;
+  check Alcotest.int "failure recorded" 1 (Vm.metrics vm).Metrics.dynamic_failures;
+  assert_no_live_on_failed vm
+
+let test_dynamic_failure_evacuates_object () =
+  let vm = mk ~rate:0.0 () in
+  let id = Vm.alloc vm ~size:64 () in
+  let addr = OT.addr (Vm.objects vm) id in
+  Vm.dynamic_failure vm ~id;
+  Alcotest.(check bool) "full (copying) collection ran" true
+    ((Vm.metrics vm).Metrics.full_gcs >= 1);
+  Alcotest.(check bool) "object still alive" true (OT.is_alive (Vm.objects vm) id);
+  Alcotest.(check bool) "object moved off the failed line" true
+    (OT.addr (Vm.objects vm) id <> addr);
+  assert_no_live_on_failed vm
+
+let test_dynamic_failure_pinned_masked () =
+  let vm = mk ~rate:0.0 () in
+  let id = Vm.alloc vm ~pinned:true ~size:64 () in
+  let addr = OT.addr (Vm.objects vm) id in
+  Vm.dynamic_failure vm ~id;
+  (* pinned: the OS remaps the page instead; the object must not move *)
+  check Alcotest.int "pinned object did not move" addr (OT.addr (Vm.objects vm) id);
+  Alcotest.(check bool) "page copy charged" true ((Vm.metrics vm).Metrics.bytes_copied > 0);
+  assert_no_live_on_failed vm
+
+let test_dynamic_failure_los_relocates () =
+  let vm = mk ~rate:0.0 () in
+  let id = Vm.alloc vm ~size:50_000 () in
+  let addr = OT.addr (Vm.objects vm) id in
+  Vm.dynamic_failure vm ~id;
+  Alcotest.(check bool) "LOS object relocated" true (OT.addr (Vm.objects vm) id <> addr);
+  Alcotest.(check bool) "still alive" true (OT.is_alive (Vm.objects vm) id)
+
+let test_dynamic_failures_accumulate () =
+  let vm = mk ~rate:0.0 ~heap:(1 lsl 20) () in
+  let rng = Holes_stdx.Xrng.of_seed 31 in
+  let live = ref [] in
+  for i = 1 to 2000 do
+    let id = Vm.alloc vm ~size:(32 + Holes_stdx.Xrng.int rng 400) () in
+    live := id :: !live;
+    if List.length !live > 40 then begin
+      match !live with
+      | x :: rest ->
+          Vm.kill vm x;
+          live := rest
+      | [] -> ()
+    end;
+    (* inject a dynamic failure under a random live object every 200
+       allocations *)
+    if i mod 200 = 0 then begin
+      match !live with
+      | x :: _ when OT.is_alive (Vm.objects vm) x && not (OT.is_los (Vm.objects vm) x) ->
+          Vm.dynamic_failure vm ~id:x
+      | _ -> ()
+    end
+  done;
+  Alcotest.(check bool) "several dynamic failures handled" true
+    ((Vm.metrics vm).Metrics.dynamic_failures >= 5);
+  assert_no_live_on_failed vm
+
+let test_arraylets_avoid_perfect_pages () =
+  (* Z-rays mode: large arrays split into arraylets in imperfect memory;
+     no perfect pages or DRAM borrowing needed even at 25% uniform *)
+  let run arraylets =
+    let cfg =
+      { Cfg.default with Cfg.failure_rate = 0.25; arraylets }
+    in
+    let vm = Vm.create ~cfg ~min_heap_bytes:(2 * 1024 * 1024) () in
+    let rng = Holes_stdx.Xrng.of_seed 13 in
+    let live = Queue.create () in
+    for _ = 1 to 800 do
+      let size = 10_000 + Holes_stdx.Xrng.int rng 40_000 in
+      let id = Vm.alloc vm ~size () in
+      Queue.push id live;
+      if Queue.length live > 12 then Vm.kill vm (Queue.pop live)
+    done;
+    let acct = Holes_heap.Page_stock.accounting (Vm.stock vm) in
+    (Holes_osal.Accounting.total_borrowed acct, Vm.metrics vm)
+  in
+  let borrowed_los, m_los = run false in
+  let borrowed_zray, m_zray = run true in
+  Alcotest.(check bool) "LOS borrows DRAM at 25% uniform" true (borrowed_los > 50);
+  Alcotest.(check bool) "Z-rays borrow (almost) nothing" true
+    (borrowed_zray < borrowed_los / 10);
+  Alcotest.(check bool) "arrays were split" true (m_zray.Metrics.arraylet_arrays >= 800);
+  check Alcotest.int "LOS unused in Z-rays mode" 0 m_zray.Metrics.los_objects;
+  Alcotest.(check bool) "LOS used otherwise" true (m_los.Metrics.los_objects > 0)
+
+let test_arraylets_spine_death_frees_pieces () =
+  let cfg = { Cfg.default with Cfg.arraylets = true } in
+  let vm = Vm.create ~cfg ~min_heap_bytes:(1 lsl 20) () in
+  let id = Vm.alloc vm ~size:50_000 () in
+  let live_before = OT.live_bytes (Vm.objects vm) in
+  Alcotest.(check bool) "pieces + spine live" true (live_before >= 50_000);
+  Vm.kill vm id;
+  Vm.collect vm ~full:true;
+  check Alcotest.int "everything reclaimed" 0 (OT.live_count (Vm.objects vm));
+  (* heap reusable afterwards *)
+  let id2 = Vm.alloc vm ~size:50_000 () in
+  Alcotest.(check bool) "reallocated" true (OT.is_alive (Vm.objects vm) id2)
+
+let test_hw_cluster_map_gives_perfect_pages () =
+  (* with 2CL at 25%, the stock must include a large perfect pool *)
+  let vm = mk ~rate:0.25 ~dist:(Cfg.Hw_cluster 2) () in
+  let stock = Vm.stock vm in
+  let perfect = Holes_heap.Page_stock.free_perfect_count stock in
+  let total = Holes_heap.Page_stock.npages stock in
+  Alcotest.(check bool) "~half the pages perfect" true
+    (float_of_int perfect /. float_of_int total > 0.40)
+
+let suite =
+  [
+    ("never allocates on failed lines (L256)", `Quick, test_never_allocates_on_failed_lines);
+    ("never allocates on failed lines (L64)", `Quick, test_never_allocates_on_failed_lines_64);
+    ("zero failures, zero overhead", `Quick, test_zero_failures_zero_overhead);
+    ("failures add overhead", `Quick, test_failures_add_overhead);
+    ("clustering beats uniform", `Quick, test_clustering_beats_uniform);
+    ("compensation grows heap", `Quick, test_compensation_grows_heap);
+    ("overflow search + perfect fallback", `Quick, test_overflow_search_and_perfect_fallback);
+    ("false failures waste memory", `Quick, test_false_failures_waste_memory);
+    ("dynamic failure on free line", `Quick, test_dynamic_failure_free_line);
+    ("dynamic failure evacuates object", `Quick, test_dynamic_failure_evacuates_object);
+    ("dynamic failure pinned masked", `Quick, test_dynamic_failure_pinned_masked);
+    ("dynamic failure LOS relocates", `Quick, test_dynamic_failure_los_relocates);
+    ("dynamic failures accumulate", `Quick, test_dynamic_failures_accumulate);
+    ("2CL map yields perfect pages", `Quick, test_hw_cluster_map_gives_perfect_pages);
+    ("arraylets avoid perfect pages", `Quick, test_arraylets_avoid_perfect_pages);
+    ("arraylet spine death frees pieces", `Quick, test_arraylets_spine_death_frees_pieces);
+  ]

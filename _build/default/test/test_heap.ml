@@ -1,0 +1,284 @@
+(* Tests for the heap substrate: object table, blocks/line marks, page
+   stock and remembered set. *)
+
+open Holes_heap
+module Bitset = Holes_stdx.Bitset
+module Xrng = Holes_stdx.Xrng
+
+let check = Alcotest.check
+
+(* ------------------------- Units ------------------------- *)
+
+let test_units () =
+  check Alcotest.int "block = 8 pages" 8 Units.pages_per_block;
+  Alcotest.(check bool) "256 valid line size" true (Units.valid_line_size 256);
+  Alcotest.(check bool) "100 invalid line size" false (Units.valid_line_size 100);
+  check Alcotest.int "lines per block at 256B" 128 (Units.lines_per_block ~line_size:256);
+  check Alcotest.int "alignment" 64 (Units.aligned_size 57);
+  check Alcotest.int "minimum size" 8 (Units.aligned_size 1)
+
+(* ------------------------- Object table ------------------------- *)
+
+let test_object_lifecycle () =
+  let t = Object_table.create () in
+  let id = Object_table.alloc t ~addr:100 ~size:64 ~pinned:false ~los:false in
+  Alcotest.(check bool) "alive" true (Object_table.is_alive t id);
+  Alcotest.(check bool) "nursery" true (Object_table.is_nursery t id);
+  check Alcotest.int "live bytes" 64 (Object_table.live_bytes t);
+  Object_table.kill t id;
+  Alcotest.(check bool) "dead" false (Object_table.is_alive t id);
+  check Alcotest.int "live bytes zero" 0 (Object_table.live_bytes t);
+  Object_table.release t id;
+  (* id gets recycled *)
+  let id2 = Object_table.alloc t ~addr:200 ~size:32 ~pinned:true ~los:false in
+  check Alcotest.int "slot recycled" id id2;
+  Alcotest.(check bool) "pinned" true (Object_table.is_pinned t id2)
+
+let test_object_refs_capped () =
+  let t = Object_table.create () in
+  let a = Object_table.alloc t ~addr:0 ~size:8 ~pinned:false ~los:false in
+  let b = Object_table.alloc t ~addr:8 ~size:8 ~pinned:false ~los:false in
+  for _ = 1 to 20 do
+    Object_table.add_ref t ~src:a ~dst:b
+  done;
+  Alcotest.(check bool) "fan-out capped" true (List.length (Object_table.refs t a) <= 8)
+
+let test_object_release_alive_rejected () =
+  let t = Object_table.create () in
+  let id = Object_table.alloc t ~addr:0 ~size:8 ~pinned:false ~los:false in
+  Alcotest.check_raises "cannot release live"
+    (Invalid_argument "Object_table.release: object still alive") (fun () ->
+      Object_table.release t id)
+
+let test_object_growth () =
+  let t = Object_table.create () in
+  for i = 0 to 5000 do
+    ignore (Object_table.alloc t ~addr:(i * 8) ~size:8 ~pinned:false ~los:false)
+  done;
+  check Alcotest.int "all live" 5001 (Object_table.live_count t)
+
+(* ------------------------- Block ------------------------- *)
+
+let empty_bitmap = Bitset.create Holes_pcm.Geometry.lines_per_page
+
+let make_block ?(line_size = 256) ?(bitmaps : Bitset.t array option) () =
+  let bitmaps =
+    match bitmaps with Some b -> b | None -> Array.make Units.pages_per_block empty_bitmap
+  in
+  Block.create ~index:0 ~base:0 ~line_size ~pages:(Array.init Units.pages_per_block Fun.id)
+    ~page_bitmap:(fun id -> bitmaps.(id))
+
+let test_block_fresh () =
+  let b = make_block () in
+  check Alcotest.int "all lines free" 128 b.Block.free_lines;
+  Alcotest.(check bool) "empty" true (Block.is_empty b);
+  Alcotest.(check bool) "perfect" true (Block.is_perfect b);
+  check Alcotest.int "one big hole" 1 (Block.count_holes b)
+
+let test_block_false_failure_widening () =
+  (* one failed 64B PCM line must fail the whole 256B logical line *)
+  let bm = Bitset.create Holes_pcm.Geometry.lines_per_page in
+  Bitset.set bm 1 (* second 64B line of page 0 *);
+  let bitmaps = Array.make Units.pages_per_block empty_bitmap in
+  bitmaps.(0) <- bm;
+  let b = make_block ~bitmaps () in
+  check Alcotest.int "one logical line failed" 1 b.Block.failed_lines;
+  Alcotest.(check bool) "line 0 failed (widened)" true (Block.is_failed_line b 0);
+  (* with 64B logical lines there is no widening *)
+  let b64 = make_block ~line_size:64 ~bitmaps () in
+  check Alcotest.int "exactly one 64B line failed" 1 b64.Block.failed_lines;
+  Alcotest.(check bool) "line 1 failed" true (Block.is_failed_line b64 1);
+  Alcotest.(check bool) "line 0 fine" false (Block.is_failed_line b64 0)
+
+let test_block_object_lines () =
+  let b = make_block () in
+  Block.add_object_lines b ~addr:0 ~size:300 (* spans lines 0-1 *);
+  check Alcotest.int "two lines live" (128 - 2) b.Block.free_lines;
+  Block.add_object_lines b ~addr:300 ~size:100 (* within line 1 *);
+  check Alcotest.int "shared line" (128 - 2) b.Block.free_lines;
+  Block.remove_object_lines b ~addr:0 ~size:300;
+  check Alcotest.int "line 1 still live" (128 - 1) b.Block.free_lines;
+  Block.remove_object_lines b ~addr:300 ~size:100;
+  Alcotest.(check bool) "empty again" true (Block.is_empty b)
+
+let test_block_alloc_over_failed_rejected () =
+  let bm = Bitset.create Holes_pcm.Geometry.lines_per_page in
+  Bitset.set bm 0;
+  let bitmaps = Array.make Units.pages_per_block empty_bitmap in
+  bitmaps.(0) <- bm;
+  let b = make_block ~bitmaps () in
+  Alcotest.check_raises "allocation over failed line rejected"
+    (Invalid_argument "Block.add_object_lines: allocation overlaps a failed line") (fun () ->
+      Block.add_object_lines b ~addr:0 ~size:64)
+
+let test_block_find_hole_skips_failed () =
+  let bm = Bitset.create Holes_pcm.Geometry.lines_per_page in
+  (* fail PCM lines covering logical lines 0 and 1 (256B logical = 4 PCM) *)
+  for i = 0 to 7 do
+    Bitset.set bm i
+  done;
+  let bitmaps = Array.make Units.pages_per_block empty_bitmap in
+  bitmaps.(0) <- bm;
+  let b = make_block ~bitmaps () in
+  match Block.find_hole b ~from_line:0 ~min_bytes:256 with
+  | Some (s, e, _) ->
+      check Alcotest.int "hole starts after failures" 2 s;
+      check Alcotest.int "hole extends to block end" 128 e
+  | None -> Alcotest.fail "expected a hole"
+
+let test_block_find_hole_min_bytes () =
+  let b = make_block () in
+  (* occupy lines 1-2, leaving a 1-line hole at 0 and a tail from 3 *)
+  Block.add_object_lines b ~addr:256 ~size:512;
+  (match Block.find_hole b ~from_line:0 ~min_bytes:512 with
+  | Some (s, _, _) -> check Alcotest.int "skips small hole" 3 s
+  | None -> Alcotest.fail "expected hole");
+  match Block.find_hole b ~from_line:0 ~min_bytes:256 with
+  | Some (s, e, _) ->
+      check Alcotest.int "first small hole" 0 s;
+      check Alcotest.int "hole is single line" 1 e
+  | None -> Alcotest.fail "expected hole"
+
+let test_block_dynamic_fail_line () =
+  let b = make_block () in
+  Alcotest.(check bool) "was free" true (Block.fail_line b ~line:5 = `Was_free);
+  Alcotest.(check bool) "already failed" true (Block.fail_line b ~line:5 = `Already_failed);
+  check Alcotest.int "failed count" 1 b.Block.failed_lines;
+  check Alcotest.int "free shrank" 127 b.Block.free_lines
+
+let test_block_clear_marks_preserves_failed () =
+  let b = make_block () in
+  ignore (Block.fail_line b ~line:7);
+  Block.add_object_lines b ~addr:0 ~size:256;
+  Block.clear_marks b;
+  Alcotest.(check bool) "failed preserved" true (Block.is_failed_line b 7);
+  check Alcotest.int "others free" 127 b.Block.free_lines
+
+(* ------------------------- Page stock ------------------------- *)
+
+let stock_with_rate rate npages =
+  let rng = Xrng.of_seed 77 in
+  let map =
+    Holes_pcm.Failure_map.uniform rng ~nlines:(npages * Holes_pcm.Geometry.lines_per_page) ~rate
+  in
+  Page_stock.create ~device_map:map ~npages ()
+
+let test_stock_pools () =
+  let s = stock_with_rate 0.0 8 in
+  check Alcotest.int "all perfect" 8 (Page_stock.free_perfect_count s);
+  let s2 = stock_with_rate 0.5 64 in
+  Alcotest.(check bool) "most imperfect at 50%" true (Page_stock.free_imperfect_count s2 > 56)
+
+let test_stock_relaxed_prefers_imperfect () =
+  let rng = Xrng.of_seed 3 in
+  let npages = 4 in
+  let map = Bitset.create (npages * 64) in
+  Bitset.set map (64 * 2) (* page 2 imperfect *);
+  ignore rng;
+  let s = Page_stock.create ~device_map:map ~npages () in
+  check (Alcotest.option Alcotest.int) "imperfect page first" (Some 2) (Page_stock.take_relaxed s)
+
+let test_stock_debit_credit_flow () =
+  let npages = 4 in
+  let map = Bitset.create (npages * 64) in
+  let s = Page_stock.create ~device_map:map ~npages () in
+  (* exhaust perfect pool: 4 takes *)
+  for _ = 1 to 4 do
+    match Page_stock.take_perfect s with
+    | Page_stock.Perfect _ -> ()
+    | _ -> Alcotest.fail "expected perfect"
+  done;
+  (* next perfect request borrows (budget: extra_free default 0 => free_pages 0 => exhausted!) *)
+  (match Page_stock.take_perfect s with
+  | Page_stock.Exhausted -> ()
+  | _ -> Alcotest.fail "expected exhausted with empty stock");
+  (* return a page; now borrowing is within budget *)
+  Page_stock.return_page s 0;
+  (match Page_stock.take_perfect s with
+  | Page_stock.Perfect 0 -> ()
+  | _ -> Alcotest.fail "returned page served");
+  Page_stock.return_page s 0;
+  Page_stock.return_page s 1;
+  (match Page_stock.take_perfect s with
+  | Page_stock.Perfect _ -> ()
+  | _ -> Alcotest.fail "perfect available");
+  (match Page_stock.take_perfect s with
+  | Page_stock.Perfect _ -> ()
+  | _ -> Alcotest.fail "perfect available 2");
+  ()
+
+let test_stock_borrow_and_repay () =
+  let npages = 8 in
+  let map = Bitset.create (npages * 64) in
+  (* make half the pages imperfect so relaxed has a supply *)
+  for p = 0 to 3 do
+    Bitset.set map (p * 64)
+  done;
+  let s = Page_stock.create ~device_map:map ~npages () in
+  (* drain perfect pool (pages 4..7) *)
+  for _ = 1 to 4 do
+    ignore (Page_stock.take_perfect s)
+  done;
+  (* borrow one page (4 imperfect still free → budget ok) *)
+  (match Page_stock.take_perfect s with
+  | Page_stock.Borrowed -> ()
+  | _ -> Alcotest.fail "expected borrow");
+  check Alcotest.int "borrowed in use" 1 (Page_stock.borrowed_in_use s);
+  check Alcotest.int "debt" 1 (Holes_osal.Accounting.debt (Page_stock.accounting s));
+  (* return a perfect page; relaxed must decline it to repay the debt *)
+  Page_stock.return_page s 7;
+  for p = 0 to 3 do
+    ignore (Page_stock.take_relaxed s |> Option.get);
+    ignore p
+  done;
+  (* the next relaxed take sees the perfect page, declines it (repaying),
+     and comes up empty *)
+  (match Page_stock.take_relaxed s with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected decline-then-empty");
+  check Alcotest.int "debt repaid" 0 (Holes_osal.Accounting.debt (Page_stock.accounting s));
+  check Alcotest.int "repaid page recorded" 1 (Page_stock.repaid_pages s)
+
+let test_stock_dynamic_failure_migration () =
+  let npages = 2 in
+  let map = Bitset.create (npages * 64) in
+  let s = Page_stock.create ~device_map:map ~npages () in
+  Page_stock.mark_line_failed s ~id:0 ~line:5;
+  check Alcotest.int "perfect shrank" 1 (Page_stock.free_perfect_count s);
+  check Alcotest.int "imperfect grew" 1 (Page_stock.free_imperfect_count s);
+  check Alcotest.int "failed lines recorded" 1 (Page_stock.page s 0).Page_stock.failed_lines
+
+(* ------------------------- Remset ------------------------- *)
+
+let test_remset () =
+  let r = Remset.create () in
+  Alcotest.(check bool) "first record" true (Remset.record r ~src:5);
+  Alcotest.(check bool) "duplicate filtered" false (Remset.record r ~src:5);
+  check Alcotest.int "one entry" 1 (Remset.size r);
+  check Alcotest.int "two barrier hits" 2 (Remset.barrier_hits r);
+  Remset.clear r;
+  check Alcotest.int "cleared" 0 (Remset.size r);
+  Alcotest.(check bool) "records again after clear" true (Remset.record r ~src:5)
+
+let suite =
+  [
+    ("units", `Quick, test_units);
+    ("object lifecycle", `Quick, test_object_lifecycle);
+    ("object refs capped", `Quick, test_object_refs_capped);
+    ("object release-alive rejected", `Quick, test_object_release_alive_rejected);
+    ("object table growth", `Quick, test_object_growth);
+    ("block fresh", `Quick, test_block_fresh);
+    ("block false-failure widening", `Quick, test_block_false_failure_widening);
+    ("block object line accounting", `Quick, test_block_object_lines);
+    ("block rejects alloc over failed", `Quick, test_block_alloc_over_failed_rejected);
+    ("block find_hole skips failed", `Quick, test_block_find_hole_skips_failed);
+    ("block find_hole min bytes", `Quick, test_block_find_hole_min_bytes);
+    ("block dynamic fail_line", `Quick, test_block_dynamic_fail_line);
+    ("block clear_marks preserves failed", `Quick, test_block_clear_marks_preserves_failed);
+    ("stock pools", `Quick, test_stock_pools);
+    ("stock relaxed prefers imperfect", `Quick, test_stock_relaxed_prefers_imperfect);
+    ("stock perfect exhaustion", `Quick, test_stock_debit_credit_flow);
+    ("stock borrow and repay", `Quick, test_stock_borrow_and_repay);
+    ("stock dynamic failure migration", `Quick, test_stock_dynamic_failure_migration);
+    ("remset", `Quick, test_remset);
+  ]

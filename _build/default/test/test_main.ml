@@ -1,0 +1,17 @@
+(* Test entry point: every suite, one alcotest binary (`dune runtest`). *)
+
+let () =
+  Alcotest.run "holes"
+    [
+      ("stdx", Test_stdx.suite);
+      ("pcm", Test_pcm.suite);
+      ("osal", Test_osal.suite);
+      ("heap", Test_heap.suite);
+      ("immix", Test_immix.suite);
+      ("mark-sweep", Test_mark_sweep.suite);
+      ("failure-aware", Test_failure_aware.suite);
+      ("vm", Test_vm.suite);
+      ("workload", Test_workload.suite);
+      ("exp", Test_exp.suite);
+      ("integration", Test_integration.suite);
+    ]
