@@ -1,0 +1,31 @@
+# Development entry points.  `make check` is the tier-1 gate: build +
+# full test suite, plus a formatting check when ocamlformat is
+# available (the check is skipped, not failed, on machines without it).
+
+.PHONY: all build test check fmt bench quickstart clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+check: build test fmt
+
+bench:
+	dune exec bench/main.exe
+
+quickstart:
+	dune exec examples/quickstart.exe
+
+clean:
+	dune clean

@@ -9,6 +9,7 @@
      main.exe pauses          the Sec. 4.2 pause-time table
      main.exe headline        the Sec. 8 headline overheads
      main.exe wearlevel       the Sec. 7.2 wear-leveling ablation
+     main.exe wearlife        device-backend wear-lifetime sweep
      main.exe micro           Bechamel microbenchmarks (one per
                               operation family underlying the figures) *)
 
@@ -30,6 +31,7 @@ let figures : (string * (params:Holes_exp.Runner.params -> Holes_stdx.Table.t)) 
     ("pauses", fun ~params -> Holes_exp.Figures.pauses ~params ());
     ("headline", fun ~params -> Holes_exp.Figures.headline ~params ());
     ("wearlevel", fun ~params -> Holes_exp.Wear_ablation.table ~params ());
+    ("wearlife", fun ~params -> Holes_exp.Wear_lifetime.table ~params ());
     ("ablation", fun ~params -> Holes_exp.Figures.ablation ~params ());
   ]
 

@@ -7,7 +7,8 @@
 
 open Cmdliner
 
-let run list_benches bench collector line_size rate dist compensate arraylets heap scale seed verbose =
+let run list_benches bench collector line_size rate dist compensate arraylets backend endurance
+    heap scale seed verbose =
   if list_benches then begin
     print_endline "available benchmark profiles:";
     List.iter
@@ -41,6 +42,19 @@ let run list_benches bench collector line_size rate dist compensate arraylets he
               | Some lines when lines > 0 -> Holes.Config.Granule lines
               | _ -> failwith (Printf.sprintf "unknown distribution %S (uniform|1cl|2cl|<granule-lines>)" g))
         in
+        let backend =
+          match String.lowercase_ascii backend with
+          | "static" -> Holes.Config.Static
+          | "device" ->
+              let d = Holes.Config.default_device in
+              let wear =
+                match endurance with
+                | None -> d.Holes.Config.wear
+                | Some e -> { d.Holes.Config.wear with Holes_pcm.Wear.mean_endurance = e }
+              in
+              Holes.Config.Device { d with Holes.Config.wear }
+          | other -> failwith (Printf.sprintf "unknown backend %S (static|device)" other)
+        in
         let cfg =
           {
             Holes.Config.collector;
@@ -53,6 +67,7 @@ let run list_benches bench collector line_size rate dist compensate arraylets he
             defrag_occupancy = 0.30;
             nursery_copy = true;
             arraylets;
+            backend;
             seed;
           }
         in
@@ -89,7 +104,19 @@ let run list_benches bench collector line_size rate dist compensate arraylets he
                 m.Holes.Metrics.overflow_allocs m.Holes.Metrics.overflow_searches
                 m.Holes.Metrics.perfect_block_fallbacks;
               Printf.printf "LOS:        %d objects, %d pages\n" m.Holes.Metrics.los_objects
-                m.Holes.Metrics.los_pages
+                m.Holes.Metrics.los_pages;
+              if m.Holes.Metrics.device_writes > 0 then begin
+                Printf.printf "device:     %d reads, %d writes, %d wear failures\n"
+                  m.Holes.Metrics.device_reads m.Holes.Metrics.device_writes
+                  m.Holes.Metrics.device_line_failures;
+                Printf.printf "fbuf:       peak occupancy %d, %d stalls\n"
+                  m.Holes.Metrics.fbuf_peak_occupancy m.Holes.Metrics.fbuf_stall_events;
+                Printf.printf "OS:         %d up-calls, %d page copies, %d data restores\n"
+                  m.Holes.Metrics.os_upcalls m.Holes.Metrics.os_page_copies
+                  m.Holes.Metrics.os_data_restores;
+                Printf.printf "VMM:        %d reverse translations, %d swap-ins\n"
+                  m.Holes.Metrics.reverse_translations m.Holes.Metrics.swap_ins
+              end
             end;
             if res.Holes_workload.Generator.completed then 0 else 2)
 
@@ -117,6 +144,16 @@ let cmd =
   let arraylets =
     Arg.(value & flag & info [ "arraylets" ] ~doc:"Split large arrays into discontiguous arraylets (Z-rays) instead of using the perfect-page LOS.")
   in
+  let backend =
+    Arg.(value & opt string "static"
+         & info [ "backend" ] ~docv:"B"
+             ~doc:"Memory backend: static (fault-injection map) or device (full device/OS pipeline with wear).")
+  in
+  let endurance =
+    Arg.(value & opt (some float) None
+         & info [ "endurance" ] ~docv:"N"
+             ~doc:"Device backend: mean per-line write endurance (lognormal).")
+  in
   let heap =
     Arg.(value & opt float 2.0 & info [ "heap" ] ~docv:"X" ~doc:"Heap size as a multiple of the minimum.")
   in
@@ -130,6 +167,6 @@ let cmd =
     (Cmd.info "holes-run" ~doc)
     Term.(
       const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ compensate $ arraylets
-      $ heap $ scale $ seed $ verbose)
+      $ backend $ endurance $ heap $ scale $ seed $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,9 +7,13 @@
    - a failure map at 25% of 64 B lines, moved by the modeled two-page
      clustering hardware;
    - a Sticky Immix heap that skips failed lines;
-   - a dynamic failure injected mid-run, handled by evacuation. *)
+   - a dynamic failure injected mid-run, handled by evacuation;
+   - then the same workload on the device backend, where failures are
+     not injected but *earned*: every line store wears the simulated
+     PCM, and wear-outs reach the runtime through the device -> failure
+     buffer -> interrupt -> VMM up-call chain. *)
 
-let () =
+let static_phase () =
   print_endline "== holes quickstart ==";
   (* 1. Configure a failure-aware Sticky Immix VM: 25% of PCM lines have
         failed, clustered by the proposed two-page hardware. *)
@@ -59,3 +63,45 @@ let () =
   | Ok () -> print_endline "invariant check: no live object touches a failed line"
   | Error m -> failwith m);
   Format.printf "%a@." Holes.Vm.pp_summary vm
+
+(* Phase 2: the full cooperative pipeline.  Low mean endurance wears
+   lines out within the run; no failure is ever injected by hand. *)
+let device_phase () =
+  print_endline "\n== device backend: wear-driven failures ==";
+  let d = Holes.Config.default_device in
+  let cfg =
+    {
+      Holes.Config.default with
+      Holes.Config.heap_factor = 2.0;
+      backend =
+        Holes.Config.Device
+          { d with Holes.Config.wear = { d.Holes.Config.wear with Holes_pcm.Wear.mean_endurance = 18.0 } };
+    }
+  in
+  let vm = Holes.Vm.create ~cfg ~min_heap_bytes:(2 * 1024 * 1024) () in
+  let rng = Holes_stdx.Xrng.of_seed 11 in
+  let live = Queue.create () in
+  for _ = 1 to 50_000 do
+    let size =
+      match Holes_stdx.Xrng.int rng 20 with
+      | 0 -> 2048
+      | 1 -> 16384
+      | _ -> 24 + Holes_stdx.Xrng.int rng 200
+    in
+    let id = Holes.Vm.alloc vm ~size () in
+    Queue.push id live;
+    if Queue.length live > 2000 then Holes.Vm.kill vm (Queue.pop live)
+  done;
+  (match Holes.Vm.check_invariants vm with
+  | Ok () -> print_endline "invariant check: no live object touches a failed line"
+  | Error m -> failwith m);
+  Holes.Vm.sync_backend_stats vm;
+  let m = Holes.Vm.metrics vm in
+  assert (m.Holes.Metrics.device_writes > 0);
+  Printf.printf "wear failures earned during the run: %d (all delivered via up-calls: %d)\n"
+    m.Holes.Metrics.device_line_failures m.Holes.Metrics.os_upcalls;
+  Format.printf "%a@." Holes.Vm.pp_summary vm
+
+let () =
+  static_phase ();
+  device_phase ()

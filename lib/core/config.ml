@@ -17,6 +17,36 @@ type failure_dist =
       (** proposed hardware: uniform failures moved to region ends, with
           the region size in pages (1 = 1CL, 2 = 2CL) *)
 
+(** Parameters of the simulated PCM module behind the device backend. *)
+type device_params = {
+  wear : Holes_pcm.Wear.params;  (** per-line endurance model *)
+  clustering : int option;
+      (** hardware failure-clustering region size in pages; [None] takes
+          it from [failure_dist] ([Hw_cluster] enables it, anything else
+          runs unclustered) *)
+  buffer_capacity : int;  (** failure-buffer slots (Sec. 3.1.1) *)
+  dram_pages : int;  (** DRAM frames in front of the PCM namespace *)
+}
+
+type backend =
+  | Static
+      (** fault-injection: a generated failure map handed straight to the
+          page stock (fast, reproducible figure runs) *)
+  | Device of device_params
+      (** the full cooperative pipeline: pages acquired from the OS pools
+          via [mmap_imperfect], heap line writes charged through
+          [Device.write] with wear accrual, and dynamic failures
+          delivered by the genuine device → failure buffer → interrupt →
+          VMM up-call chain *)
+
+let default_device : device_params =
+  {
+    wear = Holes_pcm.Wear.fast_params;
+    clustering = None;
+    buffer_capacity = 32;
+    dram_pages = 16;
+  }
+
 type t = {
   collector : collector;
   line_size : int;  (** Immix logical line size in bytes *)
@@ -32,6 +62,7 @@ type t = {
           Sartor et al. — paper Sec. 3.3.3) instead of page-grained LOS
           objects: no perfect pages needed, at an access-indirection
           cost *)
+  backend : backend;  (** how heap pages are granted and failures arrive *)
   seed : int;
 }
 
@@ -47,6 +78,7 @@ let default : t =
     defrag_occupancy = 0.30;
     nursery_copy = true;
     arraylets = false;
+    backend = Static;
     seed = 42;
   }
 
@@ -66,6 +98,11 @@ let dist_name (d : failure_dist) : string =
 let name (t : t) : string =
   let base = collector_name t.collector in
   let base = if t.arraylets then base ^ "-zray" else base in
+  let base =
+    match t.backend with
+    | Static -> base
+    | Device d -> Printf.sprintf "%s-dev-e%.0f" base d.wear.Holes_pcm.Wear.mean_endurance
+  in
   let line = Printf.sprintf "L%d" t.line_size in
   if t.failure_rate = 0.0 then Printf.sprintf "%s-%s" base line
   else
@@ -85,4 +122,12 @@ let validate (t : t) : (unit, string) result =
   else if t.failure_rate < 0.0 || t.failure_rate > 0.95 then
     Error "failure rate must be in [0, 0.95]"
   else if t.heap_factor < 1.0 then Error "heap factor must be >= 1"
-  else Ok ()
+  else
+    match t.backend with
+    | Static -> Ok ()
+    | Device d ->
+        if not (is_immix t.collector) then
+          Error "the device backend requires a failure-aware Immix collector"
+        else if d.buffer_capacity <= 0 then Error "device buffer capacity must be positive"
+        else if d.dram_pages < 0 then Error "device dram_pages must be non-negative"
+        else Ok ()

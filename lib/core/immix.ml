@@ -717,6 +717,32 @@ and dynamic_failure_in_block (t : t) ~(addr : int) ~(bi : int) ~(b : Block.t) : 
         ~line:(off mod Holes_pcm.Geometry.page_bytes / Holes_pcm.Geometry.line_bytes)
   end
 
+(** The assembled block (and page index within it) backed by stock page
+    [page], if any — the reverse lookup the OS failure up-call needs to
+    turn a page/line pair back into a heap address. *)
+let find_page_owner (t : t) ~(page : int) : (Block.t * int) option =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ b ->
+      if Option.is_none !found then
+        Array.iteri
+          (fun i p -> if p = page && Option.is_none !found then found := Some (b, i))
+          b.Block.pages)
+    t.blocks;
+  !found
+
+(** Stock page id and 64 B PCM line backing heap byte [addr], if the
+    address lies in an assembled block ([None] for DRAM-borrowed pages
+    and unassembled addresses). *)
+let page_backing (t : t) ~(addr : int) : (int * int) option =
+  match Hashtbl.find_opt t.blocks (addr / block_bytes) with
+  | None -> None
+  | Some b ->
+      let off = addr - b.Block.base in
+      let pg = b.Block.pages.(off / Holes_pcm.Geometry.page_bytes) in
+      if pg < 0 then None
+      else Some (pg, off mod Holes_pcm.Geometry.page_bytes / Holes_pcm.Geometry.line_bytes)
+
 (** Request defragmentation at the next full collection (used by the
     VM when the LOS runs short of pages: consolidation dissolves sparse
     blocks back into stock pages). *)

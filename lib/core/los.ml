@@ -86,8 +86,9 @@ let alloc (t : t) ~(size : int) : int option =
     t.pages_in_use <- t.pages_in_use + npages;
     t.metrics.Metrics.los_objects <- t.metrics.Metrics.los_objects + 1;
     t.metrics.Metrics.los_pages <- t.metrics.Metrics.los_pages + npages;
-    (* keyed by address until the object id is known *)
-    Hashtbl.replace t.entries addr { pages = !pages; bytes = size };
+    (* keyed by address until the object id is known; pages in address
+       order, so offset / page_bytes indexes the backing page *)
+    Hashtbl.replace t.entries addr { pages = List.rev !pages; bytes = size };
     Some addr
   end
 
@@ -104,6 +105,27 @@ let free (t : t) ~(addr : int) : unit =
         e.pages;
       t.pages_in_use <- t.pages_in_use - List.length e.pages;
       Hashtbl.remove t.entries addr
+
+(** Stock page id and 64 B PCM line backing byte [base + off] of the LOS
+    object at [base]; [None] for borrowed DRAM slots and unknown
+    addresses. *)
+let page_backing (t : t) ~(base : int) ~(off : int) : (int * int) option =
+  match Hashtbl.find_opt t.entries base with
+  | None -> None
+  | Some e -> (
+      let pb = Holes_pcm.Geometry.page_bytes in
+      match List.nth_opt e.pages (off / pb) with
+      | Some pg when pg >= 0 -> Some (pg, off mod pb / Holes_pcm.Geometry.line_bytes)
+      | _ -> None)
+
+(** The LOS base address whose backing pages include stock page [page] —
+    the reverse lookup for an OS-reported line failure.  Linear in the
+    number of LOS entries; dynamic failures are rare. *)
+let addr_backed_by (t : t) ~(page : int) : int option =
+  Hashtbl.fold
+    (fun a e acc ->
+      match acc with Some _ -> acc | None -> if List.mem page e.pages then Some a else None)
+    t.entries None
 
 (** Pages currently backing live LOS objects. *)
 let pages_in_use (t : t) : int = t.pages_in_use

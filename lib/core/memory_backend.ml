@@ -1,0 +1,187 @@
+(** The VM's memory backend seam: where heap pages come from and how
+    line failures reach the runtime.
+
+    Two implementations exist.  The *static* backend is the paper's
+    fault-injection methodology (Sec. 5): a failure map generated up
+    front and handed straight to the page stock — fast and exactly
+    reproducible, so every figure run uses it.  The *device* backend
+    wires the full cooperative pipeline of Secs. 3.1–3.3 end to end: the
+    VM acquires pages from the OS pools via [Vmm.mmap_imperfect], reads
+    the live failure bitmaps via [Vmm.map_failures], and every heap line
+    store is charged through [Device.write], accruing real wear.  When a
+    write wears a line out, the event travels the genuine chain —
+    [Device.on_line_failed] → {!Holes_pcm.Failure_buffer} →
+    {!Holes_osal.Interrupts} → [Vmm] up-call — and lands in the
+    [line_retired] hook the VM installs, which retires the line through
+    [Immix.dynamic_failure] or LOS relocation.  No side channel remains:
+    the device backend rejects [Vm.dynamic_failure_at]. *)
+
+open Holes_stdx
+module Pcm = Holes_pcm
+module Osal = Holes_osal
+
+type device_state = {
+  device : Pcm.Device.t;
+  vmm : Osal.Vmm.t;
+  proc : Osal.Vmm.process;
+  interrupts : Osal.Interrupts.t;
+  dram_pages : int;  (** physical ids below this are DRAM frames *)
+  virt_of_stock : int array;  (** stock page id -> mapped virtual page *)
+  stock_of_virt : (int, int) Hashtbl.t;
+  metrics : Metrics.t;
+  payload : Bytes.t;  (** reusable one-line write payload *)
+  mutable line_retired : stock_page:int -> line:int -> data:Bytes.t option -> unit;
+      (** installed by the VM once the heap exists: retire 64 B line
+          [line] of [stock_page]; [data] is the payload preserved by the
+          failure buffer when the retired line was the one being
+          written *)
+}
+
+type t = Static | Device of device_state
+
+let lines_per_page = Pcm.Geometry.lines_per_page
+
+(* The boot-time physical failure map for a device of [nlines] lines.
+   Unlike the static backend's map this is over *physical* lines: with
+   hardware clustering the device's own redirection maps move the
+   failures to cluster ends, so [Hw_cluster] needs no transform here. *)
+let physical_failure_map (cfg : Config.t) ~(rng : Xrng.t) ~(nlines : int) : Bitset.t =
+  match cfg.Config.failure_dist with
+  | Config.Uniform | Config.Hw_cluster _ ->
+      Pcm.Failure_map.uniform rng ~nlines ~rate:cfg.Config.failure_rate
+  | Config.Granule g ->
+      Pcm.Failure_map.clustered rng ~nlines ~rate:cfg.Config.failure_rate ~granule_lines:g
+
+(** Bring up the device → OS → process pipeline for a heap of [npages]
+    pages: create the worn device, pre-install the configured boot-time
+    failures, boot-scan them into the OS failure table and pools, attach
+    the interrupt handler, spawn a failure-aware process and map the
+    whole heap with [mmap_imperfect].  Returns the backend state and the
+    per-page failure bitmaps read back through [map_failures] — the
+    grants the page stock is built over. *)
+let create_device ~(cfg : Config.t) ~(params : Config.device_params) ~(metrics : Metrics.t)
+    ~(npages : int) : device_state * Bitset.t array =
+  let clustering =
+    match cfg.Config.failure_dist with
+    | Config.Hw_cluster region_pages -> Some region_pages
+    | Config.Uniform | Config.Granule _ -> params.Config.clustering
+  in
+  let region_pages = match clustering with Some rp -> rp | None -> 1 in
+  let device_pages = (npages + region_pages - 1) / region_pages * region_pages in
+  let device =
+    Pcm.Device.create
+      ~config:
+        {
+          Pcm.Device.pages = device_pages;
+          wear = params.Config.wear;
+          clustering;
+          buffer_capacity = params.Config.buffer_capacity;
+        }
+      ~seed:cfg.Config.seed ()
+  in
+  let rng = Xrng.of_seed cfg.Config.seed in
+  if cfg.Config.failure_rate > 0.0 then
+    Pcm.Device.preinstall_failures device
+      (physical_failure_map cfg ~rng ~nlines:(device_pages * lines_per_page));
+  let dram_pages = params.Config.dram_pages in
+  let vmm = Osal.Vmm.create ~dram_pages ~pcm_pages:device_pages in
+  (* OS boot scan: publish the device's unusable lines in the failure
+     table and page descriptors, then rebuild the free pools in one pass *)
+  let table = Osal.Vmm.failure_table vmm in
+  let pools = Osal.Vmm.pools vmm in
+  List.iter
+    (fun l ->
+      let page = l / lines_per_page and line = l mod lines_per_page in
+      Osal.Failure_table.mark_failed table ~page ~line;
+      ignore (Osal.Page.mark_line_failed (Osal.Pools.page pools (dram_pages + page)) ~line))
+    (Pcm.Device.unusable_lines device);
+  Osal.Pools.renormalize pools;
+  let interrupts = Osal.Interrupts.attach ~vmm ~device ~dram_pages in
+  let proc = Osal.Vmm.spawn vmm in
+  let virts =
+    match Osal.Vmm.mmap_imperfect vmm proc ~pages:device_pages with
+    | Ok vs -> vs
+    | Error `Out_of_memory ->
+        invalid_arg "Memory_backend.create_device: device cannot back the requested heap"
+  in
+  let virt_of_stock = Array.of_list virts in
+  let stock_of_virt = Hashtbl.create (Array.length virt_of_stock) in
+  Array.iteri (fun sp v -> Hashtbl.replace stock_of_virt v sp) virt_of_stock;
+  let st =
+    {
+      device;
+      vmm;
+      proc;
+      interrupts;
+      dram_pages;
+      virt_of_stock;
+      stock_of_virt;
+      metrics;
+      payload = Bytes.make Pcm.Geometry.line_bytes '\xAB';
+      line_retired = (fun ~stock_page:_ ~line:_ ~data:_ -> ());
+    }
+  in
+  (* the Sec. 3.2.2 up-call: virtual page + line -> the VM's retire hook *)
+  Osal.Vmm.register_failure_handler proc (fun ~virt_page ~line ~data ->
+      match Hashtbl.find_opt st.stock_of_virt virt_page with
+      | Some stock_page -> st.line_retired ~stock_page ~line ~data
+      | None -> ());
+  let bitmaps =
+    Array.map (fun virt -> Osal.Vmm.map_failures vmm proc ~virt) virt_of_stock
+  in
+  (st, bitmaps)
+
+(** Drain pending failure interrupts (OS side).  Returns the number of
+    resolutions performed. *)
+let service (st : device_state) : int =
+  List.length (Osal.Interrupts.service st.interrupts)
+
+type write_outcome =
+  | Stored  (** the line took the write *)
+  | Line_failed  (** wear-out: the failure chain ran (up-call included) *)
+  | Skipped  (** unusable / DRAM-backed / unmapped line: no device write *)
+
+(** Charge one 64 B line store on [stock_page]/[line] through the device
+    write path.  A wear failure fires the device callback, and the
+    interrupt is serviced immediately — by the time this returns, the
+    runtime's [line_retired] hook has run and the line is retired.  A
+    stalled device (failure-buffer pressure) is drained and the write
+    retried once. *)
+let device_write (st : device_state) ~(stock_page : int) ~(line : int) : write_outcome =
+  match Osal.Vmm.translate st.proc ~virt:st.virt_of_stock.(stock_page) with
+  | None -> Skipped
+  | Some phys when phys < st.dram_pages -> Skipped
+  | Some phys -> (
+      let logical = ((phys - st.dram_pages) * lines_per_page) + line in
+      if not (Pcm.Device.line_usable st.device logical) then Skipped
+      else
+        let write () = Pcm.Device.write st.device logical st.payload in
+        match write () with
+        | Pcm.Device.Stored -> Stored
+        | Pcm.Device.Write_failed ->
+            ignore (service st);
+            Line_failed
+        | Pcm.Device.Stalled -> (
+            ignore (service st);
+            match write () with
+            | Pcm.Device.Stored -> Stored
+            | Pcm.Device.Write_failed ->
+                ignore (service st);
+                Line_failed
+            | Pcm.Device.Stalled -> Skipped))
+
+(** Copy the pipeline's counters into the VM metrics (idempotent
+    assignment, called at run end and before printing summaries). *)
+let sync (st : device_state) : unit =
+  let s = Pcm.Device.stats st.device in
+  let m = st.metrics in
+  m.Metrics.device_reads <- s.Pcm.Device.reads;
+  m.Metrics.device_writes <- s.Pcm.Device.writes;
+  m.Metrics.device_line_failures <- s.Pcm.Device.failures;
+  m.Metrics.fbuf_peak_occupancy <- s.Pcm.Device.buffer.Pcm.Failure_buffer.max_occupancy;
+  m.Metrics.fbuf_stall_events <- s.Pcm.Device.buffer.Pcm.Failure_buffer.stall_events;
+  m.Metrics.os_upcalls <- Osal.Interrupts.upcalls st.interrupts;
+  m.Metrics.os_page_copies <- Osal.Interrupts.page_copies st.interrupts;
+  m.Metrics.os_data_restores <- Osal.Interrupts.restores st.interrupts;
+  m.Metrics.reverse_translations <- Osal.Vmm.reverse_translations st.vmm;
+  m.Metrics.swap_ins <- Osal.Vmm.swap_ins st.vmm

@@ -24,6 +24,18 @@ type t = {
   mutable peak_live_bytes : int;
   mutable out_of_memory : bool;
   mutable oom_request : int;  (** size of the allocation that hit OOM (0 = none) *)
+  (* device backend: the cooperative pipeline's counters, synced from the
+     PCM module / OS layers after a run (all zero on the static backend) *)
+  mutable device_reads : int;
+  mutable device_writes : int;
+  mutable device_line_failures : int;  (** wear-driven write failures *)
+  mutable fbuf_peak_occupancy : int;  (** failure-buffer high-water mark *)
+  mutable fbuf_stall_events : int;  (** watermark crossings that stalled writes *)
+  mutable os_upcalls : int;  (** interrupt resolutions via the runtime handler *)
+  mutable os_page_copies : int;  (** failure-unaware page-copy resolutions *)
+  mutable os_data_restores : int;  (** clustering re-backed the failing address *)
+  mutable reverse_translations : int;
+  mutable swap_ins : int;
 }
 
 let create () : t =
@@ -50,6 +62,16 @@ let create () : t =
     peak_live_bytes = 0;
     out_of_memory = false;
     oom_request = 0;
+    device_reads = 0;
+    device_writes = 0;
+    device_line_failures = 0;
+    fbuf_peak_occupancy = 0;
+    fbuf_stall_events = 0;
+    os_upcalls = 0;
+    os_page_copies = 0;
+    os_data_restores = 0;
+    reverse_translations = 0;
+    swap_ins = 0;
   }
 
 let gcs (t : t) : int = t.full_gcs + t.nursery_gcs

@@ -24,6 +24,7 @@ type t = {
   stock : Page_stock.t;
   los : Los.t;
   space : space;
+  backend : Memory_backend.t;
   heap_pages : int;  (** pages granted (after compensation) *)
   arraylet_spines : (int, int list) Hashtbl.t;
       (** spine object id -> arraylet piece ids (Z-rays mode) *)
@@ -52,57 +53,6 @@ let generate_failure_map (cfg : Config.t) ~(rng : Xrng.t) ~(npages : int) : Bits
       let nlines = pages * lines_per_page in
       let base = Holes_pcm.Failure_map.uniform rng ~nlines ~rate:cfg.Config.failure_rate in
       (Holes_pcm.Failure_map.cluster_transform base ~region_pages, pages)
-
-(** Create a VM with a heap of [heap_factor × min_heap_bytes] usable
-    bytes (compensated for the failure rate when configured).
-    [device_map] overrides the generated failure map (used by the
-    wear-leveling ablation and by tests that inject hand-built maps); it
-    receives the page count and must return a bitmap of
-    [npages * 64] lines. *)
-let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) option)
-    ~(min_heap_bytes : int) () : t =
-  (match Config.validate cfg with Ok () -> () | Error m -> invalid_arg ("Vm.create: " ^ m));
-  let heap_bytes =
-    int_of_float (cfg.Config.heap_factor *. float_of_int min_heap_bytes)
-  in
-  let base_pages = (heap_bytes + page_bytes - 1) / page_bytes in
-  let pages =
-    if cfg.Config.compensate && cfg.Config.failure_rate > 0.0 then
-      int_of_float (ceil (float_of_int base_pages /. (1.0 -. cfg.Config.failure_rate)))
-    else base_pages
-  in
-  let rng = Xrng.of_seed cfg.Config.seed in
-  let device_map, heap_pages =
-    match device_map with
-    | Some f -> (f ~npages:pages, pages)
-    | None -> generate_failure_map cfg ~rng ~npages:pages
-  in
-  let stock =
-    Page_stock.create ~line_size:cfg.Config.line_size ~device_map ~npages:heap_pages ()
-  in
-  let cost = Cost.create () in
-  let metrics = Metrics.create () in
-  let objects = Object_table.create () in
-  let los = Los.create ~stock ~cost ~metrics in
-  let space =
-    if Config.is_immix cfg.Config.collector then
-      Ix (Immix.create ~cfg ~cost ~metrics ~stock ~objects ~los)
-    else Ms (Mark_sweep.create ~cfg ~cost ~metrics ~stock ~objects ~los)
-  in
-  { cfg; cost; metrics; objects; stock; los; space; heap_pages;
-    arraylet_spines = Hashtbl.create 64 }
-
-let cfg (t : t) : Config.t = t.cfg
-let cost (t : t) : Cost.t = t.cost
-let metrics (t : t) : Metrics.t = t.metrics
-let objects (t : t) : Object_table.t = t.objects
-let stock (t : t) : Page_stock.t = t.stock
-
-(** Ask the next full collection to defragment (evacuate sparse blocks).
-    The collector also requests this itself on allocation pressure;
-    Immix defragments on demand, not on every collection. *)
-let request_defrag (t : t) : unit =
-  match t.space with Ix s -> Immix.request_defrag s | Ms _ -> ()
 
 (** Trigger a collection explicitly. *)
 let collect (t : t) ~(full : bool) : unit =
@@ -137,6 +87,149 @@ let alloc_los (t : t) ~(size : int) : int =
   in
   attempt 0
 
+(* Relocate the live LOS object whose pages contain heap address [addr]
+   to fresh perfect pages — the LOS response to a line failure.  The
+   victim is found through the page→object index (constant time), not a
+   live-set scan. *)
+let relocate_los_victim (t : t) ~(addr : int) : unit =
+  t.metrics.Metrics.dynamic_failures <- t.metrics.Metrics.dynamic_failures + 1;
+  match Object_table.los_object_at t.objects ~page:(addr / page_bytes) with
+  | None -> ()
+  | Some id when not (Object_table.is_alive t.objects id) -> ()
+  | Some id ->
+      let size = Object_table.size t.objects id in
+      let old_addr = Object_table.addr t.objects id in
+      Los.free t.los ~addr:old_addr;
+      let new_addr = alloc_los t ~size in
+      Object_table.relocate t.objects id ~new_addr;
+      let w = t.cost.Cost.weights in
+      Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+      t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size
+
+(* The runtime's end of the OS failure up-call (Sec. 3.2.2): stock page
+   [stock_page] lost 64 B line [line].  A line inside an assembled Immix
+   block is retired through the evacuation machinery; a LOS line
+   relocates the whole large object; a line on a free page is only
+   marked, so later grants see the hole.  [data] was preserved by the
+   failure buffer — relocation re-reads live data through the heap
+   model, so the payload is not consumed here. *)
+let handle_line_retired (t : t) ~(stock_page : int) ~(line : int) ~(data : Bytes.t option) :
+    unit =
+  ignore data;
+  match t.space with
+  | Ms _ -> ()
+  | Ix s -> (
+      match Immix.find_page_owner s ~page:stock_page with
+      | Some (b, page_idx) ->
+          let addr =
+            b.Block.base + (page_idx * page_bytes) + (line * Holes_pcm.Geometry.line_bytes)
+          in
+          Immix.dynamic_failure s ~addr
+      | None -> (
+          Page_stock.mark_line_failed t.stock ~id:stock_page ~line;
+          match Los.addr_backed_by t.los ~page:stock_page with
+          | Some base -> relocate_los_victim t ~addr:base
+          | None -> ()))
+
+(* Charge the device writes behind materializing object [id]: one 64 B
+   line store per line it spans.  A store may wear its line out
+   mid-loop; the failure chain then retires the line (possibly
+   relocating the object), so the backing address is re-resolved every
+   iteration. *)
+let charge_device_writes (t : t) ~(id : int) : unit =
+  match t.backend with
+  | Memory_backend.Static -> ()
+  | Memory_backend.Device st ->
+      let line64 = Holes_pcm.Geometry.line_bytes in
+      let nlines = (Object_table.size t.objects id + line64 - 1) / line64 in
+      let i = ref 0 in
+      while !i < nlines && Object_table.is_alive t.objects id do
+        let addr = Object_table.addr t.objects id in
+        let off = !i * line64 in
+        let backing =
+          if Los.is_los_addr addr then Los.page_backing t.los ~base:addr ~off
+          else
+            match t.space with
+            | Ix s -> Immix.page_backing s ~addr:(addr + off)
+            | Ms _ -> None
+        in
+        (match backing with
+        | None -> ()
+        | Some (stock_page, line) ->
+            ignore (Memory_backend.device_write st ~stock_page ~line));
+        incr i
+      done
+
+(** Create a VM with a heap of [heap_factor × min_heap_bytes] usable
+    bytes (compensated for the failure rate when configured).
+    [device_map] overrides the generated failure map (used by the
+    wear-leveling ablation and by tests that inject hand-built maps); it
+    receives the page count and must return a bitmap of
+    [npages * 64] lines. *)
+let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) option)
+    ~(min_heap_bytes : int) () : t =
+  (match Config.validate cfg with Ok () -> () | Error m -> invalid_arg ("Vm.create: " ^ m));
+  let heap_bytes =
+    int_of_float (cfg.Config.heap_factor *. float_of_int min_heap_bytes)
+  in
+  let base_pages = (heap_bytes + page_bytes - 1) / page_bytes in
+  let pages =
+    if cfg.Config.compensate && cfg.Config.failure_rate > 0.0 then
+      int_of_float (ceil (float_of_int base_pages /. (1.0 -. cfg.Config.failure_rate)))
+    else base_pages
+  in
+  let cost = Cost.create () in
+  let metrics = Metrics.create () in
+  let backend, stock, heap_pages =
+    match cfg.Config.backend with
+    | Config.Static ->
+        let rng = Xrng.of_seed cfg.Config.seed in
+        let device_map, heap_pages =
+          match device_map with
+          | Some f -> (f ~npages:pages, pages)
+          | None -> generate_failure_map cfg ~rng ~npages:pages
+        in
+        let stock =
+          Page_stock.create ~line_size:cfg.Config.line_size ~device_map ~npages:heap_pages ()
+        in
+        (Memory_backend.Static, stock, heap_pages)
+    | Config.Device params ->
+        if device_map <> None then
+          invalid_arg "Vm.create: device_map overrides apply to the static backend only";
+        let st, bitmaps = Memory_backend.create_device ~cfg ~params ~metrics ~npages:pages in
+        let stock = Page_stock.create_of_bitmaps ~line_size:cfg.Config.line_size ~bitmaps () in
+        (Memory_backend.Device st, stock, Array.length bitmaps)
+  in
+  let objects = Object_table.create () in
+  let los = Los.create ~stock ~cost ~metrics in
+  let space =
+    if Config.is_immix cfg.Config.collector then
+      Ix (Immix.create ~cfg ~cost ~metrics ~stock ~objects ~los)
+    else Ms (Mark_sweep.create ~cfg ~cost ~metrics ~stock ~objects ~los)
+  in
+  let t =
+    { cfg; cost; metrics; objects; stock; los; space; backend; heap_pages;
+      arraylet_spines = Hashtbl.create 64 }
+  in
+  (match backend with
+  | Memory_backend.Static -> ()
+  | Memory_backend.Device st ->
+      st.Memory_backend.line_retired <-
+        (fun ~stock_page ~line ~data -> handle_line_retired t ~stock_page ~line ~data));
+  t
+
+let cfg (t : t) : Config.t = t.cfg
+let cost (t : t) : Cost.t = t.cost
+let metrics (t : t) : Metrics.t = t.metrics
+let objects (t : t) : Object_table.t = t.objects
+let stock (t : t) : Page_stock.t = t.stock
+
+(** Ask the next full collection to defragment (evacuate sparse blocks).
+    The collector also requests this itself on allocation pressure;
+    Immix defragments on demand, not on every collection. *)
+let request_defrag (t : t) : unit =
+  match t.space with Ix s -> Immix.request_defrag s | Ms _ -> ()
+
 (* a small/medium allocation through the configured collector *)
 let alloc_in_space (t : t) ~(size : int) ~(pinned : bool) : int =
   match t.space with
@@ -144,6 +237,7 @@ let alloc_in_space (t : t) ~(size : int) ~(pinned : bool) : int =
       let addr = Immix.alloc s ~size in
       let id = Object_table.alloc t.objects ~addr ~size ~pinned ~los:false in
       Immix.register s ~id ~addr;
+      charge_device_writes t ~id;
       id
   | Ms s ->
       let block, cell, addr = Mark_sweep.alloc s ~size in
@@ -191,13 +285,27 @@ let alloc (t : t) ?(pinned = false) ~(size : int) () : int =
     (match t.space with
     | Ix s -> Immix.register s ~id ~addr
     | Ms s -> Mark_sweep.register s ~id);
+    charge_device_writes t ~id;
     id
   end
   else alloc_in_space t ~size:asize ~pinned
 
-(** Store a reference from [src] to [dst] (fires the write barrier). *)
+(** Store a reference from [src] to [dst] (fires the write barrier).
+    On the device backend the pointer store itself is a 64 B line write
+    and is charged through the device (it can wear the line out). *)
 let write_ref (t : t) ~(src : int) ~(dst : int) : unit =
   Object_table.add_ref t.objects ~src ~dst;
+  (match t.backend with
+  | Memory_backend.Static -> ()
+  | Memory_backend.Device st -> (
+      let addr = Object_table.addr t.objects src in
+      let backing =
+        if Los.is_los_addr addr then Los.page_backing t.los ~base:addr ~off:0
+        else match t.space with Ix s -> Immix.page_backing s ~addr | Ms _ -> None
+      in
+      match backing with
+      | None -> ()
+      | Some (stock_page, line) -> ignore (Memory_backend.device_write st ~stock_page ~line)));
   match t.space with Ix s -> Immix.write_barrier s ~src | Ms s -> Mark_sweep.write_barrier s ~src
 
 (** The object becomes unreachable; its space is reclaimed by a later
@@ -212,32 +320,18 @@ let kill (t : t) (id : int) : unit =
 
 (** Inject a dynamic PCM line failure at the heap address of object
     [id] (or an arbitrary address via [dynamic_failure_at]).  LOS
-    failures relocate the whole large object to fresh perfect pages. *)
+    failures relocate the whole large object to fresh perfect pages.
+    Static backend only: on the device backend failures arise from wear
+    and arrive through the interrupt chain, so direct injection is
+    rejected. *)
 let dynamic_failure_at (t : t) ~(addr : int) : unit =
-  if Los.is_los_addr addr then begin
-    t.metrics.Metrics.dynamic_failures <- t.metrics.Metrics.dynamic_failures + 1;
-    (* find the live object whose pages contain the address *)
-    let victim = ref None in
-    Object_table.iter_slots t.objects (fun id ->
-        if !victim = None && Object_table.is_alive t.objects id
-           && Object_table.is_los t.objects id
-        then begin
-          let a = Object_table.addr t.objects id in
-          let npages = Los.pages_needed (Object_table.size t.objects id) in
-          if a <= addr && addr < a + (npages * page_bytes) then victim := Some id
-        end);
-    match !victim with
-    | None -> ()
-    | Some id ->
-        let size = Object_table.size t.objects id in
-        let old_addr = Object_table.addr t.objects id in
-        Los.free t.los ~addr:old_addr;
-        let new_addr = alloc_los t ~size in
-        Object_table.relocate t.objects id ~new_addr;
-        let w = t.cost.Cost.weights in
-        Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
-        t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size
-  end
+  (match t.backend with
+  | Memory_backend.Device _ ->
+      invalid_arg
+        "Vm.dynamic_failure_at: the device backend delivers failures through the interrupt \
+         chain"
+  | Memory_backend.Static -> ());
+  if Los.is_los_addr addr then relocate_los_victim t ~addr
   else
     match t.space with
     | Ix s -> Immix.dynamic_failure s ~addr
@@ -250,14 +344,31 @@ let dynamic_failure (t : t) ~(id : int) : unit =
 (** Total modeled execution time so far, in milliseconds. *)
 let elapsed_ms (t : t) : float = Cost.total_ms t.cost
 
+(** The VM's memory backend (tests inspect the device pipeline here). *)
+let backend (t : t) : Memory_backend.t = t.backend
+
+(** The device pipeline state, when running on the device backend. *)
+let device_state (t : t) : Memory_backend.device_state option =
+  match t.backend with Memory_backend.Static -> None | Memory_backend.Device st -> Some st
+
+(** Pull the device/OS pipeline counters into {!metrics} (no-op on the
+    static backend).  Call at run end, before reading metrics. *)
+let sync_backend_stats (t : t) : unit =
+  match t.backend with
+  | Memory_backend.Static -> ()
+  | Memory_backend.Device st -> Memory_backend.sync st
+
 (** Post-collection heap invariants (valid immediately after a full
     collection): live objects never overlap failed lines or each other's
     line accounting. *)
 let check_invariants (t : t) : (unit, string) result =
   match t.space with Ix s -> Immix.check_invariants s | Ms _ -> Ok ()
 
-(** Snapshot of headline counters, for examples and debugging output. *)
+(** Snapshot of headline counters, for examples and debugging output.
+    On the device backend this also reports the device/OS pipeline:
+    device traffic, failure-buffer pressure, interrupt-chain activity. *)
 let pp_summary (ppf : Format.formatter) (t : t) : unit =
+  sync_backend_stats t;
   let m = t.metrics in
   Format.fprintf ppf
     "@[<v>time: %.2f ms (mutator %.2f, gc %.2f)@,\
@@ -274,4 +385,16 @@ let pp_summary (ppf : Format.formatter) (t : t) : unit =
     (float_of_int m.Metrics.bytes_copied /. 1048576.0)
     m.Metrics.hole_skips m.Metrics.perfect_block_fallbacks m.Metrics.los_objects
     m.Metrics.los_pages
-    (Holes_osal.Accounting.total_borrowed (Page_stock.accounting t.stock))
+    (Holes_osal.Accounting.total_borrowed (Page_stock.accounting t.stock));
+  match t.backend with
+  | Memory_backend.Static -> ()
+  | Memory_backend.Device _ ->
+      Format.fprintf ppf
+        "@,@[<v>device: %d reads, %d writes, %d wear failures@,\
+         fbuf: peak occupancy %d, %d stalls@,\
+         OS: %d up-calls, %d page copies, %d data restores@,\
+         VMM: %d reverse translations, %d swap-ins; dynamic failures: %d@]"
+        m.Metrics.device_reads m.Metrics.device_writes m.Metrics.device_line_failures
+        m.Metrics.fbuf_peak_occupancy m.Metrics.fbuf_stall_events m.Metrics.os_upcalls
+        m.Metrics.os_page_copies m.Metrics.os_data_restores m.Metrics.reverse_translations
+        m.Metrics.swap_ins m.Metrics.dynamic_failures

@@ -27,6 +27,13 @@ type outcome = {
   mean_perfect_requests : float;
   mean_hole_skips : float;
   mean_bytes_copied : float;
+  (* device-backend pipeline activity (all zero on the static backend) *)
+  mean_device_writes : float;
+  mean_device_failures : float;  (** wear-induced line failures per trial *)
+  mean_upcalls : float;  (** OS → runtime failure up-calls per trial *)
+  mean_reverse_translations : float;
+  mean_swap_ins : float;
+  mean_fbuf_peak : float;  (** peak failure-buffer occupancy *)
 }
 
 (* memo table: one entry per (config, profile, params) *)
@@ -96,6 +103,16 @@ let run ?(params = quick) ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Pro
           mean_perfect_requests = meanf (fun t -> float_of_int t.r_perfect_requests);
           mean_hole_skips = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.hole_skips);
           mean_bytes_copied = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.bytes_copied);
+          mean_device_writes =
+            meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.device_writes);
+          mean_device_failures =
+            meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.device_line_failures);
+          mean_upcalls = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.os_upcalls);
+          mean_reverse_translations =
+            meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.reverse_translations);
+          mean_swap_ins = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.swap_ins);
+          mean_fbuf_peak =
+            meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.fbuf_peak_occupancy);
         }
       in
       Hashtbl.replace cache key o;

@@ -1,0 +1,82 @@
+(** Wear-lifetime experiment (device backend).
+
+    The paper's central premise is that memories wear out gradually and
+    the runtime should keep executing as holes appear (Secs. 1–3).  This
+    experiment exercises that end to end on the device backend: one VM
+    runs the same workload round after round on the *same* worn device,
+    every heap line store charged through [Device.write].  Lines fail as
+    their lognormal endurance budgets exhaust; each failure travels the
+    device → failure buffer → interrupt → VMM up-call chain and is
+    retired by the runtime.  The measure is how many rounds the heap
+    survives before the live set no longer fits the remaining good
+    lines, as a function of mean line endurance.
+
+    Between rounds the whole live set is killed and a full collection
+    runs, so survival reflects wear capacity loss rather than live-set
+    leakage across rounds. *)
+
+open Holes_stdx
+module Cfg = Holes.Config
+
+let device_cfg ~(endurance : float) : Cfg.t =
+  let d = Cfg.default_device in
+  let wear = { d.Cfg.wear with Holes_pcm.Wear.mean_endurance = endurance } in
+  { Figures.base_six with Cfg.backend = Cfg.Device { d with Cfg.wear } }
+
+exception Worn_out
+
+(** Run [profile] repeatedly on one device-backed VM until it cannot
+    complete a round (or [max_rounds] is reached).  Returns the number
+    of completed rounds and the VM's final metrics (device counters
+    synced). *)
+let rounds_until_wearout ~(cfg : Cfg.t) ~(profile : Holes_workload.Profile.t)
+    ~(scale : float) ~(max_rounds : int) : int * Holes.Metrics.t =
+  let profile = Holes_workload.Profile.scaled profile scale in
+  let vm = Holes.Vm.create ~cfg ~min_heap_bytes:(Holes_workload.Profile.min_heap profile) () in
+  let rounds = ref 0 in
+  (try
+     while !rounds < max_rounds do
+       let rng = Xrng.of_seed (cfg.Cfg.seed + (31 * !rounds)) in
+       let res = Holes_workload.Generator.run ~rng vm profile in
+       if not res.Holes_workload.Generator.completed then raise Worn_out;
+       incr rounds;
+       (* drain the live set so the next round starts from an empty heap *)
+       let objs = Holes.Vm.objects vm in
+       Holes_heap.Object_table.iter_slots objs (fun id ->
+           if Holes_heap.Object_table.is_alive objs id then Holes.Vm.kill vm id);
+       Holes.Vm.collect vm ~full:true
+     done
+   with Worn_out | Holes.Vm.Out_of_memory -> ());
+  Holes.Vm.sync_backend_stats vm;
+  (!rounds, Holes.Vm.metrics vm)
+
+(** Rounds survived and pipeline activity across a mean-endurance sweep:
+    the lifetime the cooperative pipeline buys as endurance shrinks. *)
+let table ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create
+      ~title:
+        "Wear lifetime - workload rounds survived on one worn device (S-IX L256, device \
+         backend)"
+      ~headers:[ "mean endurance"; "rounds"; "device writes"; "wear failures"; "up-calls" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
+  in
+  let profile = Holes_workload.Dacapo.pmd in
+  let max_rounds = if params == Runner.full then 12 else 6 in
+  List.iter
+    (fun endurance ->
+      let cfg = device_cfg ~endurance in
+      let rounds, m =
+        rounds_until_wearout ~cfg ~profile ~scale:(params.Runner.scale /. 2.0) ~max_rounds
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f" endurance;
+          (if rounds >= max_rounds then Printf.sprintf ">=%d" rounds
+           else string_of_int rounds);
+          string_of_int m.Holes.Metrics.device_writes;
+          string_of_int m.Holes.Metrics.device_line_failures;
+          string_of_int m.Holes.Metrics.os_upcalls;
+        ])
+    [ 200.0; 50.0; 20.0; 10.0; 5.0 ];
+  t

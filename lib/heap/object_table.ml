@@ -22,6 +22,12 @@ type t = {
   free_ids : Intvec.t;
   mutable live_count : int;
   mutable live_bytes : int;
+  los_pages : (int, int) Hashtbl.t;
+      (** heap page number (addr / 4 KB) -> LOS object id occupying it;
+          LOS objects are page-grained and page-aligned, so the map is a
+          bijection over occupied pages.  Replaces the O(live-set)
+          [iter_slots] victim scans on the dynamic-failure and
+          relocation paths. *)
 }
 
 let flag_alive = 1
@@ -42,6 +48,7 @@ let create () : t =
     free_ids = Intvec.create ();
     live_count = 0;
     live_bytes = 0;
+    los_pages = Hashtbl.create 64;
   }
 
 let grow (t : t) : unit =
@@ -57,6 +64,27 @@ let grow (t : t) : unit =
   t.mark <- extend t.mark (-1);
   t.refs <- extend t.refs [];
   t.cap <- cap
+
+let page_bytes = Holes_pcm.Geometry.page_bytes
+
+(* Pages spanned by a page-aligned LOS allocation (page-granular sizing,
+   matching Los.pages_needed). *)
+let los_page_range ~(addr : int) ~(size : int) : int * int =
+  let first = addr / page_bytes in
+  let npages = (size + page_bytes - 1) / page_bytes in
+  (first, first + max 1 npages - 1)
+
+let index_los_pages (t : t) ~(addr : int) ~(size : int) ~(id : int) : unit =
+  let lo, hi = los_page_range ~addr ~size in
+  for p = lo to hi do
+    Hashtbl.replace t.los_pages p id
+  done
+
+let deindex_los_pages (t : t) ~(addr : int) ~(size : int) : unit =
+  let lo, hi = los_page_range ~addr ~size in
+  for p = lo to hi do
+    Hashtbl.remove t.los_pages p
+  done
 
 (** Allocate a fresh object id (recycled where possible). *)
 let alloc (t : t) ~(addr : int) ~(size : int) ~(pinned : bool) ~(los : bool) : int =
@@ -78,6 +106,7 @@ let alloc (t : t) ~(addr : int) ~(size : int) ~(pinned : bool) ~(los : bool) : i
   t.refs.(id) <- [];
   t.live_count <- t.live_count + 1;
   t.live_bytes <- t.live_bytes + size;
+  if los then index_los_pages t ~addr ~size ~id;
   id
 
 let addr (t : t) (id : int) : int = t.addr.(id)
@@ -103,12 +132,23 @@ let kill (t : t) (id : int) : unit =
 let release (t : t) (id : int) : unit =
   if is_alive t id then invalid_arg "Object_table.release: object still alive";
   if t.addr.(id) >= 0 then begin
+    if is_los t id then deindex_los_pages t ~addr:t.addr.(id) ~size:t.size.(id);
     t.addr.(id) <- -1;
     Intvec.push t.free_ids id
   end
 
 (** Object relocation (evacuation / nursery copy). *)
-let relocate (t : t) (id : int) ~(new_addr : int) : unit = t.addr.(id) <- new_addr
+let relocate (t : t) (id : int) ~(new_addr : int) : unit =
+  if is_los t id && t.addr.(id) >= 0 then begin
+    deindex_los_pages t ~addr:t.addr.(id) ~size:t.size.(id);
+    index_los_pages t ~addr:new_addr ~size:t.size.(id) ~id
+  end;
+  t.addr.(id) <- new_addr
+
+(** The LOS object occupying heap page [page] (address / 4 KB), dead or
+    alive, if any — the constant-time victim lookup for dynamic
+    failures. *)
+let los_object_at (t : t) ~(page : int) : int option = Hashtbl.find_opt t.los_pages page
 
 let clear_nursery_flag (t : t) (id : int) : unit =
   t.flags.(id) <- t.flags.(id) land lnot flag_nursery

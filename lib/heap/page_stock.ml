@@ -58,22 +58,21 @@ let count_usable_logical ~(line_size : int) (bitmap : Bitset.t) : int =
   done;
   !usable
 
-(** Build a stock of [npages] pages whose line failures come from
-    [device_map] (a bitmap over [npages * 64] PCM lines).  [line_size]
-    is the collector's logical line size: pages without a single usable
-    logical line are quarantined as dead - they still count against the
-    budget, exactly like the paper's unusable memory, but never
-    circulate through the allocator. *)
-let create ?(line_size = Holes_pcm.Geometry.line_bytes) ~(device_map : Bitset.t)
-    ~(npages : int) () : t =
-  if Bitset.length device_map < npages * lines_per_page then
-    invalid_arg "Page_stock.create: failure map too small";
+(** Build a stock from per-page failure bitmaps — one [Bitset.t] of 64
+    bits per granted page, exactly the shape [Vmm.map_failures] returns
+    for each mapped virtual page.  [line_size] is the collector's
+    logical line size: pages without a single usable logical line are
+    quarantined as dead — they still count against the budget, exactly
+    like the paper's unusable memory, but never circulate through the
+    allocator. *)
+let create_of_bitmaps ?(line_size = Holes_pcm.Geometry.line_bytes)
+    ~(bitmaps : Bitset.t array) () : t =
+  let npages = Array.length bitmaps in
   let pages =
     Array.init npages (fun p ->
-        let bitmap = Bitset.create lines_per_page in
-        for i = 0 to lines_per_page - 1 do
-          if Bitset.get device_map ((p * lines_per_page) + i) then Bitset.set bitmap i
-        done;
+        let bitmap = bitmaps.(p) in
+        if Bitset.length bitmap <> lines_per_page then
+          invalid_arg "Page_stock.create_of_bitmaps: bitmap is not one page";
         {
           id = p;
           bitmap;
@@ -99,6 +98,23 @@ let create ?(line_size = Holes_pcm.Geometry.line_bytes) ~(device_map : Bitset.t)
     max_borrowed = max 16 npages;
     extra_free_bytes = (fun () -> 0);
   }
+
+(** Build a stock of [npages] pages whose line failures come from
+    [device_map] (a bitmap over [npages * 64] PCM lines) — the static
+    fault-injection grant path. *)
+let create ?(line_size = Holes_pcm.Geometry.line_bytes) ~(device_map : Bitset.t)
+    ~(npages : int) () : t =
+  if Bitset.length device_map < npages * lines_per_page then
+    invalid_arg "Page_stock.create: failure map too small";
+  let bitmaps =
+    Array.init npages (fun p ->
+        let bitmap = Bitset.create lines_per_page in
+        for i = 0 to lines_per_page - 1 do
+          if Bitset.get device_map ((p * lines_per_page) + i) then Bitset.set bitmap i
+        done;
+        bitmap)
+  in
+  create_of_bitmaps ~line_size ~bitmaps ()
 
 (** Register the collector's view of free bytes held outside the stock
     (inside partially used blocks). *)

@@ -59,11 +59,19 @@ let has_pending (t : t) : bool = t.queue <> []
 let lines_per_page = Pcm.Geometry.lines_per_page
 
 (* Copy all usable lines of device page [page] to a fresh perfect page and
-   remap the process's virtual page (failure-unaware resolution). *)
+   remap the process's virtual page (failure-unaware resolution).  The
+   destination is chosen by the swap engine's To_perfect policy
+   (Sec. 3.2.3); DRAM is the last resort when the perfect pool is dry. *)
 let copy_to_perfect (t : t) ~(pid : int) ~(virt : int) ~(device_page : int) : resolution option =
   let pools = Vmm.pools t.vmm in
+  let src_map = Failure_table.get (Vmm.failure_table t.vmm) ~page:device_page in
   let target =
-    match Pools.alloc_perfect pools with Some p -> Some p | None -> Pools.alloc_dram pools
+    match
+      Swap.swap_in pools ~table:(Vmm.failure_table t.vmm) ~dram_pages:t.dram_pages
+        ~policy:Swap.To_perfect ~src_map
+    with
+    | Some o -> Some o.Swap.dest
+    | None -> Pools.alloc_dram pools
   in
   match target with
   | None -> None
@@ -77,6 +85,7 @@ let copy_to_perfect (t : t) ~(pid : int) ~(virt : int) ~(device_page : int) : re
       let p = Option.get (Vmm.find_process t.vmm pid) in
       let old_phys = Option.get (Vmm.translate p ~virt) in
       Vmm.remap t.vmm p ~virt ~new_phys;
+      Vmm.record_swap t.vmm;
       t.page_copies <- t.page_copies + 1;
       Some (Page_copied { pid; old_phys; new_phys })
 

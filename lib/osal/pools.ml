@@ -84,6 +84,27 @@ let free (t : t) (id : int) : unit =
   | Page.Pcm_perfect -> t.free_perfect <- id :: t.free_perfect
   | Page.Pcm_imperfect -> insert_imperfect_sorted t id
 
+(** Rebuild the free pools from the pages' current kinds — used after a
+    bulk failure import (the OS boot scan of a worn device), where the
+    incremental [mark_line_failed] migration would cost O(n²) in list
+    membership tests.  Allocated pages are untouched; the imperfect list
+    is re-sorted most-usable-first in one pass. *)
+let renormalize (t : t) : unit =
+  let dram = ref [] and perfect = ref [] and imperfect = ref [] in
+  for id = Array.length t.pages - 1 downto 0 do
+    if not (Hashtbl.mem t.allocated id) then
+      match t.pages.(id).Page.kind with
+      | Page.Dram -> dram := id :: !dram
+      | Page.Pcm_perfect -> perfect := id :: !perfect
+      | Page.Pcm_imperfect -> imperfect := id :: !imperfect
+  done;
+  t.free_dram <- !dram;
+  t.free_perfect <- !perfect;
+  t.free_imperfect <-
+    List.stable_sort
+      (fun a b -> compare (Page.usable_lines t.pages.(b)) (Page.usable_lines t.pages.(a)))
+      !imperfect
+
 (** Record a line failure on page [id]; if the page was in the free
     perfect pool it migrates to the free imperfect pool. *)
 let mark_line_failed (t : t) ~(page : int) ~(line : int) : bool =

@@ -33,6 +33,7 @@ type t = {
   mutable next_pid : int;
   reverse : (int, int * int) Hashtbl.t;  (** physical page -> (pid, virtual page) *)
   mutable reverse_translations : int;  (** statistic: the expensive lookups *)
+  mutable swap_ins : int;  (** pages moved to a new frame via the swap path *)
 }
 
 let create ~(dram_pages : int) ~(pcm_pages : int) : t =
@@ -44,6 +45,7 @@ let create ~(dram_pages : int) ~(pcm_pages : int) : t =
     next_pid = 1;
     reverse = Hashtbl.create 256;
     reverse_translations = 0;
+    swap_ins = 0;
   }
 
 let pools (t : t) : Pools.t = t.pools
@@ -134,6 +136,11 @@ let reverse_translate (t : t) ~(phys : int) : (int * int) option =
   Hashtbl.find_opt t.reverse phys
 
 let reverse_translations (t : t) : int = t.reverse_translations
+
+(** Account one page swapped into a new physical frame (Sec. 3.2.3). *)
+let record_swap (t : t) : unit = t.swap_ins <- t.swap_ins + 1
+
+let swap_ins (t : t) : int = t.swap_ins
 
 let find_process (t : t) (pid : int) : process option =
   List.find_opt (fun p -> p.pid = pid) t.processes

@@ -83,6 +83,26 @@ let npages (t : t) : int = t.config.pages
 
 let buffer (t : t) : Failure_buffer.t = t.buffer
 
+(** Failures currently awaiting an OS drain. *)
+let buffer_occupancy (t : t) : int = Failure_buffer.occupancy t.buffer
+
+(** Pre-install manufacturing-time failures from a bitmap over *physical*
+    lines — the boot-time state an OS scan would find.  With clustering
+    enabled each failure goes through the region redirection maps, so the
+    logically unusable lines land at cluster ends exactly as if the wear
+    process had produced them.  No data is buffered and no interrupt
+    fires: these lines failed before the machine booted. *)
+let preinstall_failures (t : t) (map : Bitset.t) : unit =
+  if Bitset.length map > t.nlines then
+    invalid_arg "Device.preinstall_failures: map larger than the device";
+  Bitset.iter_set map (fun physical ->
+      t.lines.(physical).Wear.failed <- true;
+      if Array.length t.regions = 0 then Bitset.set t.failed_unclustered physical
+      else begin
+        let r = physical / t.region_lines in
+        ignore (Redirect.record_failure t.regions.(r) ~physical:(physical - (r * t.region_lines)))
+      end)
+
 (** Register the OS notification callback, called after a write failure
     with the failing logical address and the logical lines that became
     unusable (the clustered slot plus, on a region's first failure, the

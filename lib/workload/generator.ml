@@ -116,6 +116,7 @@ let run ?(rng : Xrng.t option) (vm : Holes.Vm.t) (profile : Profile.t) : result 
        reap ()
      done
    with Holes.Vm.Out_of_memory -> completed := false);
+  Holes.Vm.sync_backend_stats vm;
   let cost = Holes.Vm.cost vm in
   {
     completed = !completed;

@@ -14,4 +14,5 @@ let () =
       ("workload", Test_workload.suite);
       ("exp", Test_exp.suite);
       ("integration", Test_integration.suite);
+      ("backend", Test_backend.suite);
     ]
