@@ -2,7 +2,7 @@
 # full test suite, plus a formatting check when ocamlformat is
 # available (the check is skipped, not failed, on machines without it).
 
-.PHONY: all build test check fmt bench quickstart clean
+.PHONY: all build test check fmt bench figures-quick speedup quickstart clean
 
 all: build
 
@@ -23,6 +23,16 @@ check: build test fmt
 
 bench:
 	dune exec bench/main.exe
+
+# Reduced figure grid on 2 worker domains, streaming one JSONL record
+# per trial: the CI perf-trajectory artifact.
+figures-quick:
+	dune exec bench/main.exe -- figures-quick -j 2 --out results.jsonl
+
+# Wall-clock of the reduced grid at -j 1 vs -j max (measures, not
+# asserts, the parallelism win).
+speedup:
+	dune exec bench/main.exe -- speedup
 
 quickstart:
 	dune exec examples/quickstart.exe

@@ -5,11 +5,17 @@
    Usage:
      main.exe                 regenerate everything (quick parameters)
      main.exe --full          paper-grade trial counts / workload scale
+     main.exe -j N            run trials on N worker domains (N = "max"
+                              for one per spare core); tables are
+                              bit-identical at any -j
+     main.exe --out F.jsonl   stream one JSONL record per trial to F
      main.exe fig3 … fig10    a single figure
      main.exe pauses          the Sec. 4.2 pause-time table
      main.exe headline        the Sec. 8 headline overheads
      main.exe wearlevel       the Sec. 7.2 wear-leveling ablation
      main.exe wearlife        device-backend wear-lifetime sweep
+     main.exe figures-quick   reduced CI grid (fig4 + headline)
+     main.exe speedup         wall-clock of the quick grid, -j 1 vs -j max
      main.exe micro           Bechamel microbenchmarks (one per
                               operation family underlying the figures) *)
 
@@ -159,25 +165,85 @@ let run_micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* The reduced grid used by `figures-quick` (CI) and `speedup`: two
+   substantial figures at a small scale, enough trials to exercise the
+   engine without paper-grade wall-clock.                              *)
+
+let quick_grid_params ~jobs = { Holes_exp.Runner.scale = 0.1; seeds = 2; jobs }
+
+let run_quick_grid ~params =
+  Holes_stdx.Table.print (Holes_exp.Figures.fig4 ~params ());
+  Holes_stdx.Table.print (Holes_exp.Figures.headline ~params ())
+
+(* `speedup`: measure the parallelism win instead of asserting it — the
+   same reduced grid, wall-clocked at -j 1 and -j max from a cold memo
+   cache each time. *)
+let run_speedup () =
+  let time_with jobs =
+    Holes_exp.Runner.clear_cache ();
+    let params = quick_grid_params ~jobs in
+    let t0 = Unix.gettimeofday () in
+    ignore (Holes_exp.Figures.fig4 ~params ());
+    ignore (Holes_exp.Figures.headline ~params ());
+    Unix.gettimeofday () -. t0
+  in
+  let jmax = Holes_engine.Engine.default_jobs () in
+  let t1 = time_with 1 in
+  let tn = time_with jmax in
+  Printf.printf
+    "quick figure grid wall-clock: -j 1 = %.2f s, -j %d = %.2f s, speedup %.2fx (%d cores)\n"
+    t1 jmax tn (t1 /. tn)
+    (Domain.recommended_domain_count ())
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let fullp = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
-  let params = if fullp then Holes_exp.Runner.full else Holes_exp.Runner.quick in
-  let print_one name =
-    match List.assoc_opt name figures with
-    | Some f ->
-        let t0 = Unix.gettimeofday () in
-        Holes_stdx.Table.print (f ~params);
-        Printf.printf "(%s generated in %.1f s)\n\n%!" name (Unix.gettimeofday () -. t0)
-    | None -> Printf.eprintf "unknown target %s\n" name
+  let rec parse (jobs, out, fullp, names) = function
+    | [] -> (jobs, out, fullp, List.rev names)
+    | "--full" :: rest -> parse (jobs, out, true, names) rest
+    | ("-j" | "--jobs") :: n :: rest ->
+        let j =
+          if n = "max" then Holes_engine.Engine.default_jobs ()
+          else
+            match int_of_string_opt n with
+            | Some j when j >= 1 -> j
+            | _ -> failwith (Printf.sprintf "bad -j value %S (positive integer or \"max\")" n)
+        in
+        parse (j, out, fullp, names) rest
+    | "--out" :: path :: rest -> parse (jobs, Some path, fullp, names) rest
+    | name :: rest -> parse (jobs, out, fullp, name :: names) rest
   in
-  match args with
-  | [] ->
-      Printf.printf "Regenerating all paper tables/figures (%s parameters)\n\n%!"
-        (if fullp then "full" else "quick");
-      List.iter (fun (n, _) -> print_one n) figures;
-      run_micro ()
-  | [ "micro" ] -> run_micro ()
-  | names -> List.iter print_one names
+  let jobs, out, fullp, args = parse (1, None, false, []) args in
+  let params =
+    let p = if fullp then Holes_exp.Runner.full else Holes_exp.Runner.quick in
+    { p with Holes_exp.Runner.jobs }
+  in
+  (* stream trials to --out; show live progress whenever domains run *)
+  let sink =
+    if out <> None || jobs > 1 then Some (Holes_engine.Sink.create ?path:out ())
+    else None
+  in
+  Holes_exp.Runner.set_sink sink;
+  let finish () =
+    (match sink with Some s -> Holes_engine.Sink.close s | None -> ());
+    Holes_exp.Runner.set_sink None
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let print_one name =
+        match List.assoc_opt name figures with
+        | Some f ->
+            let t0 = Unix.gettimeofday () in
+            Holes_stdx.Table.print (f ~params);
+            Printf.printf "(%s generated in %.1f s)\n\n%!" name (Unix.gettimeofday () -. t0)
+        | None -> Printf.eprintf "unknown target %s\n" name
+      in
+      match args with
+      | [] ->
+          Printf.printf "Regenerating all paper tables/figures (%s parameters, -j %d)\n\n%!"
+            (if fullp then "full" else "quick")
+            jobs;
+          List.iter (fun (n, _) -> print_one n) figures;
+          run_micro ()
+      | [ "micro" ] -> run_micro ()
+      | [ "figures-quick" ] -> run_quick_grid ~params:(quick_grid_params ~jobs)
+      | [ "speedup" ] -> run_speedup ()
+      | names -> List.iter print_one names)

@@ -3,12 +3,46 @@
 
      dune exec bin/holes_run.exe -- --bench pmd --rate 0.25 --dist 2cl
      dune exec bin/holes_run.exe -- --list
-     dune exec bin/holes_run.exe -- --bench xalan --collector ms --heap 3.0 *)
+     dune exec bin/holes_run.exe -- --bench xalan --collector ms --heap 3.0
+
+   Multi-seed mode: --trials N runs N seeds of the configuration through
+   the experiment engine on --jobs domains (same outcome at any -j) and
+   prints the aggregated statistics; --out streams one JSONL record per
+   trial.
+
+     dune exec bin/holes_run.exe -- -b pmd -r 0.25 --trials 8 -j 4 --out t.jsonl *)
 
 open Cmdliner
 
+(* aggregate statistics of a multi-seed engine run *)
+let print_outcome (profile : Holes_workload.Profile.t) (cfg : Holes.Config.t) ~(heap : float)
+    ~(jobs : int) (o : Holes_exp.Runner.outcome) : int =
+  Printf.printf "benchmark:  %s (%s)\n" profile.Holes_workload.Profile.name
+    profile.Holes_workload.Profile.description;
+  Printf.printf "config:     %s, heap %.2fx min\n" (Holes.Config.name cfg) heap;
+  Printf.printf "trials:     %d on %d worker domain%s, %d completed\n" o.Holes_exp.Runner.trials
+    jobs
+    (if jobs = 1 then "" else "s")
+    o.Holes_exp.Runner.completed;
+  (match o.Holes_exp.Runner.time_ms with
+  | Some s ->
+      Printf.printf "time:       %s ms\n" (Format.asprintf "%a" Holes_stdx.Stats.pp_summary s)
+  | None -> Printf.printf "time:       DNF (no trial completed)\n");
+  Printf.printf "GCs:        %.1f full, %.1f nursery (mean per trial)\n"
+    o.Holes_exp.Runner.mean_full_gcs o.Holes_exp.Runner.mean_nursery_gcs;
+  if o.Holes_exp.Runner.mean_full_pause_ms > 0.0 then
+    Printf.printf "full pause: %.3f ms mean, %.3f ms max\n" o.Holes_exp.Runner.mean_full_pause_ms
+      o.Holes_exp.Runner.max_full_pause_ms;
+  Printf.printf "borrowed:   %.1f perfect (DRAM) pages per trial\n"
+    o.Holes_exp.Runner.mean_borrowed;
+  if o.Holes_exp.Runner.mean_device_writes > 0.0 then
+    Printf.printf "device:     %.0f writes, %.1f wear failures, %.1f up-calls per trial\n"
+      o.Holes_exp.Runner.mean_device_writes o.Holes_exp.Runner.mean_device_failures
+      o.Holes_exp.Runner.mean_upcalls;
+  if o.Holes_exp.Runner.completed = o.Holes_exp.Runner.trials then 0 else 2
+
 let run list_benches bench collector line_size rate dist compensate arraylets backend endurance
-    heap scale seed verbose =
+    heap scale seed trials jobs out verbose =
   if list_benches then begin
     print_endline "available benchmark profiles:";
     List.iter
@@ -75,6 +109,18 @@ let run list_benches bench collector line_size rate dist compensate arraylets ba
         | Error m ->
             Printf.eprintf "invalid configuration: %s\n" m;
             1
+        | Ok () when trials > 1 || out <> None ->
+            (* multi-seed (or JSONL-streaming) mode: through the engine *)
+            let sink = Option.map (fun path -> Holes_engine.Sink.create ~path ()) out in
+            Holes_exp.Runner.set_sink sink;
+            Fun.protect
+              ~finally:(fun () ->
+                (match sink with Some s -> Holes_engine.Sink.close s | None -> ());
+                Holes_exp.Runner.set_sink None)
+              (fun () ->
+                let params = { Holes_exp.Runner.scale; seeds = trials; jobs } in
+                let o = Holes_exp.Runner.run ~params ~cfg ~profile () in
+                print_outcome profile cfg ~heap ~jobs o)
         | Ok () ->
             let res = Holes_workload.Generator.run_config ~cfg ~profile ~scale () in
             Printf.printf "benchmark:  %s (%s)\n" profile.Holes_workload.Profile.name
@@ -161,12 +207,27 @@ let cmd =
     Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"S" ~doc:"Workload volume scale (1.0 = full).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let trials =
+    Arg.(value & opt int 1
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Run N seeds of the configuration through the experiment engine and print \
+                   aggregate statistics (N = 1 keeps the detailed single-run output).")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for --trials; outcomes are identical at any value.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Stream one JSONL record per trial to FILE.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print detailed metrics.") in
   let doc = "run one DaCapo-style workload on the failure-aware runtime" in
   Cmd.v
     (Cmd.info "holes-run" ~doc)
     Term.(
       const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ compensate $ arraylets
-      $ backend $ endurance $ heap $ scale $ seed $ verbose)
+      $ backend $ endurance $ heap $ scale $ seed $ trials $ jobs $ out $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,50 @@
+(** A trial-job specification: one point of an experiment grid.
+
+    The job carries everything a worker needs to run the trial — the
+    collector configuration, the workload profile, the volume scale and
+    the trial's index within its multi-seed group — and derives the
+    trial's random seed *from the spec alone*.  Scheduling (which domain,
+    in what order, alongside what) can therefore never influence a
+    trial's result: [-j 1] and [-j 8] produce bit-identical outcomes. *)
+
+type spec = {
+  cfg : Holes.Config.t;
+  profile : Holes_workload.Profile.t;
+  scale : float;  (** workload volume scale (1.0 = full) *)
+  seed_index : int;  (** trial number within the (cfg × profile) group *)
+}
+
+(* FNV-1a, 64-bit: a stable string hash — [Hashtbl.hash] truncates long
+   strings and its value is not contractually stable across versions. *)
+let fnv1a64 (s : string) : int64 =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+(* SplitMix64 finalizer: diffuses the hash so nearby seed indices do not
+   produce correlated xoshiro streams. *)
+let mix64 (z : int64) : int64 =
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Deterministic per-trial seed: a hash of configuration name × profile
+    name × base seed × seed index.  Depends only on the spec, never on
+    scheduling. *)
+let seed (s : spec) : int =
+  let key =
+    Printf.sprintf "%s|%s|%d|%d" (Holes.Config.name s.cfg)
+      s.profile.Holes_workload.Profile.name s.cfg.Holes.Config.seed s.seed_index
+  in
+  (* mask to 62 bits so the result is a non-negative OCaml int *)
+  Int64.to_int (Int64.logand (mix64 (fnv1a64 key)) 0x3FFFFFFFFFFFFFFFL)
+
+(** Human-readable label for progress and error reporting. *)
+let label (s : spec) : string =
+  Printf.sprintf "%s/%s#%d" (Holes.Config.name s.cfg) s.profile.Holes_workload.Profile.name
+    s.seed_index

@@ -1,0 +1,133 @@
+(** A fixed-size pool of worker domains fed by a mutex/condition work
+    queue.
+
+    The experiment grids are embarrassingly parallel — thousands of
+    independent trials, each owning its VM outright — so the pool is
+    deliberately simple: [create] spawns the workers once, [run_all]
+    pushes a batch and blocks until every job has finished, [shutdown]
+    drains and joins.  Exceptions raised by a job are captured per job
+    ([Failed]) so one crashed trial never takes down a sweep or poisons
+    the pool for later batches. *)
+
+type task = { run : worker:int -> unit }
+
+type t = {
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  queue : task Queue.t;
+  mutable accepting : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(** One worker per spare core by default: the orchestrating domain keeps
+    a core for planning, folding and the sink. *)
+let default_domains () : int = max 1 (Domain.recommended_domain_count () - 1)
+
+let domains (t : t) : int = Array.length t.workers
+
+let worker_loop (t : t) (wid : int) : unit =
+  let rec take () =
+    match Queue.take_opt t.queue with
+    | Some task -> Some task
+    | None ->
+        if t.accepting then begin
+          Condition.wait t.has_work t.mutex;
+          take ()
+        end
+        else None
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let task = take () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+        task.run ~worker:wid;
+        loop ()
+  in
+  loop ()
+
+let create ?(domains = default_domains ()) () : t =
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let t =
+    {
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      queue = Queue.create ();
+      accepting = true;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init domains (fun wid -> Domain.spawn (fun () -> worker_loop t wid));
+  t
+
+(** Submit one task.  Tasks must never raise: [run_all] wraps its jobs;
+    raw submitters must do their own capture (an escaping exception would
+    kill the worker domain). *)
+let submit (t : t) (run : worker:int -> unit) : unit =
+  Mutex.lock t.mutex;
+  if not t.accepting then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push { run } t.queue;
+  Condition.signal t.has_work;
+  Mutex.unlock t.mutex
+
+(** Outcome of one job: the value, or the captured exception. *)
+type 'a outcome = Done of 'a | Failed of { exn : string; backtrace : string }
+
+type 'a result = {
+  value : 'a outcome;
+  worker : int;  (** index of the domain that ran the job *)
+  duration_s : float;  (** wall-clock seconds the job took *)
+}
+
+(** Run [f 0 .. f (n-1)] on the pool and block until all have finished.
+    Results come back indexed by job — scheduling order never leaks into
+    the result array.  [on_done i r] (if given) fires on the worker as
+    each job completes, concurrently with other jobs; it must be
+    thread-safe. *)
+let run_all ?(on_done : (int -> 'a result -> unit) option) (t : t) ~(n : int)
+    ~(f : int -> 'a) : 'a result array =
+  if n < 0 then invalid_arg "Pool.run_all: negative job count";
+  if n = 0 then [||]
+  else begin
+    let results : 'a result option array = Array.make n None in
+    let batch_mutex = Mutex.create () in
+    let batch_done = Condition.create () in
+    let remaining = ref n in
+    for i = 0 to n - 1 do
+      submit t (fun ~worker ->
+          let t0 = Unix.gettimeofday () in
+          let value =
+            match f i with
+            | v -> Done v
+            | exception e ->
+                Failed { exn = Printexc.to_string e; backtrace = Printexc.get_backtrace () }
+          in
+          let r = { value; worker; duration_s = Unix.gettimeofday () -. t0 } in
+          (match on_done with Some k -> k i r | None -> ());
+          Mutex.lock batch_mutex;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.signal batch_done;
+          Mutex.unlock batch_mutex)
+    done;
+    Mutex.lock batch_mutex;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_mutex
+    done;
+    Mutex.unlock batch_mutex;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+(** Stop accepting work, drain the queue, join every worker.  Idempotent. *)
+let shutdown (t : t) : unit =
+  Mutex.lock t.mutex;
+  let was_accepting = t.accepting in
+  t.accepting <- false;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  if was_accepting then Array.iter Domain.join t.workers

@@ -2,7 +2,12 @@
     (Sec. 6).  Each function runs the necessary configurations through
     {!Runner} (memoized) and renders a {!Holes_stdx.Table}; shapes — who
     wins, by what factor, where crossovers fall — are the reproduction
-    target (see EXPERIMENTS.md for the paper-vs-measured record). *)
+    target (see EXPERIMENTS.md for the paper-vs-measured record).
+
+    Every figure first {!Runner.prefetch}es its *whole* grid, so with
+    [params.jobs > 1] all trials of the figure shard across the engine's
+    domain pool at once; the per-cell {!Runner.run} calls below then hit
+    the memo cache.  Cell values are independent of [jobs]. *)
 
 open Holes_stdx
 module Cfg = Holes.Config
@@ -29,6 +34,10 @@ let ratio ~params ~cfg ~base profile =
 let geo ~params ~cfg ~base profiles =
   Runner.geomean_normalized ~params ~cfg ~base ~profiles ()
 
+(* run a figure's full grid through the engine before rendering *)
+let prefetch ~params ?(profiles = suite) (cfgs : Cfg.t list) : unit =
+  Runner.prefetch ~params ~cfgs ~profiles ()
+
 (* ------------------------------------------------------------------ *)
 
 (** Fig. 3: total time of MS, IX, S-MS, S-IX across heap sizes (no
@@ -39,12 +48,13 @@ let fig3 ?(params = Runner.quick) () : Table.t =
       ~headers:[ "heap"; "MS"; "IX"; "S-MS"; "S-IX" ] ()
   in
   let base = { base_six with Cfg.heap_factor = 6.0 } in
+  let collectors = [ Cfg.Mark_sweep; Cfg.Immix; Cfg.Sticky_ms; Cfg.Sticky_immix ] in
+  let cell_cfg coll h = { base_six with Cfg.collector = coll; heap_factor = h } in
+  prefetch ~params
+    (base :: List.concat_map (fun h -> List.map (fun c -> cell_cfg c h) collectors) heap_factors);
   List.iter
     (fun h ->
-      let cell coll =
-        let cfg = { base_six with Cfg.collector = coll; heap_factor = h } in
-        fmt_ratio (geo ~params ~cfg ~base suite)
-      in
+      let cell coll = fmt_ratio (geo ~params ~cfg:(cell_cfg coll h) ~base suite) in
       Table.add_row t
         [ Printf.sprintf "%.2fx" h; cell Cfg.Mark_sweep; cell Cfg.Immix; cell Cfg.Sticky_ms;
           cell Cfg.Sticky_immix ])
@@ -66,6 +76,7 @@ let fig4 ?(params = Runner.quick) () : Table.t =
     else { base_six with Cfg.failure_rate = f; failure_dist = Cfg.Hw_cluster 2 }
   in
   let rates = [ 0.0; 0.10; 0.25; 0.50 ] in
+  prefetch ~params ~profiles:suite_buggy (base_six :: List.map cfg_at rates);
   List.iter
     (fun p ->
       let cells = List.map (fun f -> fmt_ratio (ratio ~params ~cfg:(cfg_at f) ~base:base_six p)) rates in
@@ -86,18 +97,22 @@ let fig5 ?(params = Runner.quick) () : Table.t =
       ~headers:[ "heap"; "S-IX^PCM (0%)"; "10% NoComp"; "10% Comp"; "10% 2CL Comp" ] ()
   in
   let base = { base_six with Cfg.heap_factor = 6.0 } in
+  let cfgs_at h =
+    [
+      { base_six with Cfg.heap_factor = h };
+      { base_six with Cfg.heap_factor = h; failure_rate = 0.10; compensate = false };
+      { base_six with Cfg.heap_factor = h; failure_rate = 0.10 };
+      { base_six with Cfg.heap_factor = h; failure_rate = 0.10; failure_dist = Cfg.Hw_cluster 2 };
+    ]
+  in
+  prefetch ~params (base :: List.concat_map cfgs_at heap_factors);
   List.iter
     (fun h ->
       let at cfg = fmt_ratio (geo ~params ~cfg ~base suite) in
-      let f0 = { base_six with Cfg.heap_factor = h } in
-      let nocomp =
-        { base_six with Cfg.heap_factor = h; failure_rate = 0.10; compensate = false }
-      in
-      let comp = { base_six with Cfg.heap_factor = h; failure_rate = 0.10 } in
-      let cl2 =
-        { base_six with Cfg.heap_factor = h; failure_rate = 0.10; failure_dist = Cfg.Hw_cluster 2 }
-      in
-      Table.add_row t [ Printf.sprintf "%.2fx" h; at f0; at nocomp; at comp; at cl2 ])
+      match cfgs_at h with
+      | [ f0; nocomp; comp; cl2 ] ->
+          Table.add_row t [ Printf.sprintf "%.2fx" h; at f0; at nocomp; at comp; at cl2 ]
+      | _ -> assert false)
     heap_factors;
   t
 
@@ -109,9 +124,13 @@ let fig6a ?(params = Runner.quick) () : Table.t =
       ~headers:[ "heap"; "S-IX L64"; "S-IX L128"; "S-IX L256" ] ()
   in
   let base = { base_six with Cfg.heap_factor = 6.0 } in
+  let cell_cfg l h = { base_six with Cfg.line_size = l; heap_factor = h } in
+  prefetch ~params
+    (base
+    :: List.concat_map (fun h -> List.map (fun l -> cell_cfg l h) [ 64; 128; 256 ]) heap_factors);
   List.iter
     (fun h ->
-      let at l = fmt_ratio (geo ~params ~cfg:{ base_six with Cfg.line_size = l; heap_factor = h } ~base suite) in
+      let at l = fmt_ratio (geo ~params ~cfg:(cell_cfg l h) ~base suite) in
       Table.add_row t [ Printf.sprintf "%.2fx" h; at 64; at 128; at 256 ])
     heap_factors;
   t
@@ -124,14 +143,17 @@ let fig6b ?(params = Runner.quick) () : Table.t =
       ~headers:[ "heap"; "S-IX (L256,0%)"; "PCM L64"; "PCM L128"; "PCM L256" ] ()
   in
   let base = { base_six with Cfg.heap_factor = 6.0 } in
+  let pcm_cfg l h = { base_six with Cfg.line_size = l; heap_factor = h; failure_rate = 0.10 } in
+  prefetch ~params
+    (base
+    :: List.concat_map
+         (fun h ->
+           { base_six with Cfg.heap_factor = h }
+           :: List.map (fun l -> pcm_cfg l h) [ 64; 128; 256 ])
+         heap_factors);
   List.iter
     (fun h ->
-      let at l =
-        fmt_ratio
-          (geo ~params
-             ~cfg:{ base_six with Cfg.line_size = l; heap_factor = h; failure_rate = 0.10 }
-             ~base suite)
-      in
+      let at l = fmt_ratio (geo ~params ~cfg:(pcm_cfg l h) ~base suite) in
       let f0 = fmt_ratio (geo ~params ~cfg:{ base_six with Cfg.heap_factor = h } ~base suite) in
       Table.add_row t [ Printf.sprintf "%.2fx" h; f0; at 64; at 128; at 256 ])
     heap_factors;
@@ -145,13 +167,12 @@ let fig7 ?(params = Runner.quick) () : Table.t =
       ~headers:[ "failures"; "L64"; "L128"; "L256" ] ()
   in
   let rates = [ 0.0; 0.05; 0.10; 0.15; 0.20; 0.25; 0.30; 0.35; 0.40; 0.45; 0.50 ] in
+  let cell_cfg l f = { base_six with Cfg.line_size = l; failure_rate = f } in
+  prefetch ~params
+    (base_six :: List.concat_map (fun f -> List.map (fun l -> cell_cfg l f) [ 64; 128; 256 ]) rates);
   List.iter
     (fun f ->
-      let at l =
-        fmt_ratio
-          (geo ~params ~cfg:{ base_six with Cfg.line_size = l; failure_rate = f } ~base:base_six
-             suite)
-      in
+      let at l = fmt_ratio (geo ~params ~cfg:(cell_cfg l f) ~base:base_six suite) in
       Table.add_row t [ Printf.sprintf "%.0f%%" (f *. 100.0); at 64; at 128; at 256 ])
     rates;
   t
@@ -164,14 +185,13 @@ let fig8 ?(params = Runner.quick) () : Table.t =
       ~headers:[ "cluster"; "10%"; "25%"; "50%" ] ()
   in
   let granules = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ] in
+  let rates = [ 0.10; 0.25; 0.50 ] in
+  let cell_cfg g f = { base_six with Cfg.failure_rate = f; failure_dist = Cfg.Granule g } in
+  prefetch ~params
+    (base_six :: List.concat_map (fun g -> List.map (fun f -> cell_cfg g f) rates) granules);
   List.iter
     (fun g ->
-      let at f =
-        fmt_ratio
-          (geo ~params
-             ~cfg:{ base_six with Cfg.failure_rate = f; failure_dist = Cfg.Granule g }
-             ~base:base_six suite)
-      in
+      let at f = fmt_ratio (geo ~params ~cfg:(cell_cfg g f) ~base:base_six suite) in
       let label =
         let bytes = g * Holes_pcm.Geometry.line_bytes in
         if bytes >= 1024 then Printf.sprintf "%dKB" (bytes / 1024) else Printf.sprintf "%dB" bytes
@@ -183,6 +203,20 @@ let fig8 ?(params = Runner.quick) () : Table.t =
 let clustering_configs =
   [ ("none", Cfg.Uniform); ("1CL", Cfg.Hw_cluster 1); ("2CL", Cfg.Hw_cluster 2) ]
 
+(* the fig9 grid (shared by 9a and 9b): clustering × line size × rate *)
+let fig9_cfg dist l f =
+  if f = 0.0 then { base_six with Cfg.line_size = l }
+  else { base_six with Cfg.line_size = l; failure_rate = f; failure_dist = dist }
+
+let fig9_grid () : Cfg.t list =
+  base_six
+  :: List.concat_map
+       (fun (_, dist) ->
+         List.concat_map
+           (fun l -> List.map (fun f -> fig9_cfg dist l f) [ 0.0; 0.10; 0.25; 0.50 ])
+           [ 64; 128; 256 ])
+       clustering_configs
+
 (** Fig. 9(a): proposed clustering hardware — performance for line sizes
     × clustering × failure rate. *)
 let fig9a ?(params = Runner.quick) () : Table.t =
@@ -191,17 +225,12 @@ let fig9a ?(params = Runner.quick) () : Table.t =
       ~headers:[ "config"; "0%"; "10%"; "25%"; "50%" ]
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
   in
+  prefetch ~params (fig9_grid ());
   List.iter
     (fun (cname, dist) ->
       List.iter
         (fun l ->
-          let at f =
-            let cfg =
-              if f = 0.0 then { base_six with Cfg.line_size = l }
-              else { base_six with Cfg.line_size = l; failure_rate = f; failure_dist = dist }
-            in
-            fmt_ratio (geo ~params ~cfg ~base:base_six suite)
-          in
+          let at f = fmt_ratio (geo ~params ~cfg:(fig9_cfg dist l f) ~base:base_six suite) in
           Table.add_row t
             [ Printf.sprintf "%s L%d" cname l; at 0.0; at 0.10; at 0.25; at 0.50 ])
         [ 64; 128; 256 ])
@@ -216,15 +245,13 @@ let fig9b ?(params = Runner.quick) () : Table.t =
       ~headers:[ "config"; "0%"; "10%"; "25%"; "50%" ]
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
   in
+  prefetch ~params (fig9_grid ());
   List.iter
     (fun (cname, dist) ->
       List.iter
         (fun l ->
           let at f =
-            let cfg =
-              if f = 0.0 then { base_six with Cfg.line_size = l }
-              else { base_six with Cfg.line_size = l; failure_rate = f; failure_dist = dist }
-            in
+            let cfg = fig9_cfg dist l f in
             let vals =
               List.filter_map
                 (fun p ->
@@ -250,12 +277,13 @@ let fig10 ?(params = Runner.quick) () : Table.t =
         [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
       ()
   in
-  let cell pages f p =
-    fmt_ratio
-      (ratio ~params
-         ~cfg:{ base_six with Cfg.failure_rate = f; failure_dist = Cfg.Hw_cluster pages }
-         ~base:base_six p)
+  let cell_cfg pages f =
+    { base_six with Cfg.failure_rate = f; failure_dist = Cfg.Hw_cluster pages }
   in
+  prefetch ~params
+    (base_six
+    :: List.concat_map (fun pages -> List.map (cell_cfg pages) [ 0.10; 0.25; 0.50 ]) [ 1; 2 ]);
+  let cell pages f p = fmt_ratio (ratio ~params ~cfg:(cell_cfg pages f) ~base:base_six p) in
   List.iter
     (fun p ->
       Table.add_row t
@@ -273,6 +301,7 @@ let pauses ?(params = Runner.quick) () : Table.t =
       ~headers:[ "benchmark"; "total ms"; "GCs"; "mean full pause ms"; "max full pause ms" ]
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
   in
+  prefetch ~params [ base_six ];
   let totals = ref [] and gcs = ref [] and pause_means = ref [] in
   List.iter
     (fun p ->
@@ -300,11 +329,14 @@ let headline ?(params = Runner.quick) () : Table.t =
       ~headers:[ "config"; "10% failures"; "50% failures" ]
       ~aligns:[ Table.Left; Table.Right; Table.Right ] ()
   in
+  let cell_cfg dist f = { base_six with Cfg.failure_rate = f; failure_dist = dist } in
+  prefetch ~params
+    (base_six
+    :: List.concat_map
+         (fun dist -> List.map (cell_cfg dist) [ 0.10; 0.50 ])
+         [ Cfg.Uniform; Cfg.Hw_cluster 2 ]);
   let over dist f =
-    match
-      geo ~params ~cfg:{ base_six with Cfg.failure_rate = f; failure_dist = dist } ~base:base_six
-        suite
-    with
+    match geo ~params ~cfg:(cell_cfg dist f) ~base:base_six suite with
     | None -> "DNF"
     | Some r -> Printf.sprintf "%+.1f%%" ((r -. 1.0) *. 100.0)
   in
@@ -321,6 +353,21 @@ let ablation ?(params = Runner.quick) () : Table.t =
       ~headers:[ "config"; "time"; "borrowed pages" ]
       ~aligns:[ Table.Left; Table.Right; Table.Right ] ()
   in
+  let u25 = { base_six with Cfg.failure_rate = 0.25 } in
+  let cl50 = { base_six with Cfg.failure_rate = 0.50; failure_dist = Cfg.Hw_cluster 2 } in
+  let rows =
+    [
+      ("LOS, 25% uniform", u25);
+      ("Z-rays, 25% uniform", { u25 with Cfg.arraylets = true });
+      ("LOS, 50% 2CL", cl50);
+      ("Z-rays, 50% 2CL", { cl50 with Cfg.arraylets = true });
+      ( "no nursery copy, 25% 2CL",
+        { base_six with Cfg.failure_rate = 0.25; failure_dist = Cfg.Hw_cluster 2; nursery_copy = false } );
+      ( "no defrag, 25% 2CL",
+        { base_six with Cfg.failure_rate = 0.25; failure_dist = Cfg.Hw_cluster 2; defrag = false } );
+    ]
+  in
+  prefetch ~params (base_six :: List.map snd rows);
   let borrowed cfg =
     let vals =
       List.filter_map
@@ -331,19 +378,10 @@ let ablation ?(params = Runner.quick) () : Table.t =
     in
     match vals with [] -> "DNF" | _ -> Printf.sprintf "%.1f" (Stats.mean vals)
   in
-  let row label cfg =
-    Table.add_row t [ label; fmt_ratio (geo ~params ~cfg ~base:base_six suite); borrowed cfg ]
-  in
-  let u25 = { base_six with Cfg.failure_rate = 0.25 } in
-  let cl50 = { base_six with Cfg.failure_rate = 0.50; failure_dist = Cfg.Hw_cluster 2 } in
-  row "LOS, 25% uniform" u25;
-  row "Z-rays, 25% uniform" { u25 with Cfg.arraylets = true };
-  row "LOS, 50% 2CL" cl50;
-  row "Z-rays, 50% 2CL" { cl50 with Cfg.arraylets = true };
-  row "no nursery copy, 25% 2CL"
-    { base_six with Cfg.failure_rate = 0.25; failure_dist = Cfg.Hw_cluster 2; nursery_copy = false };
-  row "no defrag, 25% 2CL"
-    { base_six with Cfg.failure_rate = 0.25; failure_dist = Cfg.Hw_cluster 2; defrag = false };
+  List.iter
+    (fun (label, cfg) ->
+      Table.add_row t [ label; fmt_ratio (geo ~params ~cfg ~base:base_six suite); borrowed cfg ])
+    rows;
   t
 
 (** All figures in order. *)

@@ -1,17 +1,30 @@
 (** The experiment runner: configuration × workload × heap factor →
     summarized metrics, with memoization (many figures share
     configurations) and multi-seed trials with 95% confidence intervals,
-    mirroring the paper's 20-invocation methodology (Sec. 5). *)
+    mirroring the paper's 20-invocation methodology (Sec. 5).
+
+    Trials are submitted through {!Holes_engine.Engine}: [params.jobs]
+    worker domains execute them in parallel, each trial owning its VM,
+    device and VMM outright, with the seed derived deterministically
+    from the job spec ({!Holes_engine.Job.seed}) — so any [-j] produces
+    bit-identical outcomes.  Figures that sweep a grid should call
+    {!prefetch} with the whole grid first: it shards *all* trials of the
+    grid across the pool at once, while a bare {!run} can only
+    parallelize within one configuration's seed group. *)
 
 open Holes_stdx
+module Engine = Holes_engine.Engine
+module Job = Holes_engine.Job
+module Sink = Holes_engine.Sink
 
 type params = {
   scale : float;  (** workload volume scale (1.0 = full) *)
   seeds : int;  (** trials per configuration *)
+  jobs : int;  (** worker domains; <= 1 runs inline on the caller *)
 }
 
-let quick = { scale = 0.25; seeds = 2 }
-let full = { scale = 0.6; seeds = 5 }
+let quick = { scale = 0.25; seeds = 2; jobs = 1 }
+let full = { scale = 0.6; seeds = 5; jobs = 1 }
 
 type outcome = {
   profile : string;
@@ -36,8 +49,27 @@ type outcome = {
   mean_fbuf_peak : float;  (** peak failure-buffer occupancy *)
 }
 
-(* memo table: one entry per (config, profile, params) *)
+(* memo table: one entry per (config, profile, params), shared across
+   figures.  Guarded by [cache_mutex]: prefetch folds can land from the
+   orchestrating domain while another grid is in flight, and a bare
+   concurrent Hashtbl.replace from two domains is a silent race. *)
 let cache : (string, outcome) Hashtbl.t = Hashtbl.create 256
+let cache_mutex = Mutex.create ()
+
+let with_cache (f : unit -> 'a) : 'a =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
+
+(** Drop every memoized outcome (tests; speedup measurement reruns). *)
+let clear_cache () : unit = with_cache (fun () -> Hashtbl.reset cache)
+
+(* results sink: when set (bench/bin [--out]), every executed trial is
+   streamed as one JSONL record.  Memoized groups run once, so each
+   trial of a sweep appears exactly once. *)
+let sink : Sink.t option ref = ref None
+
+let set_sink (s : Sink.t option) : unit = sink := s
+let current_sink () : Sink.t option = !sink
 
 let cache_key (cfg : Holes.Config.t) (profile : Holes_workload.Profile.t) (p : params) : string =
   Printf.sprintf "%s|h%.3f|d%b|n%b|%s|s%.4f|n%d|seed%d" (Holes.Config.name cfg)
@@ -68,55 +100,122 @@ let run_trial ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile.t) ~(sc
     r_perfect_requests = Holes_osal.Accounting.perfect_requests acct;
   }
 
+(* the engine job body: spec → raw trial, seeded from the spec *)
+let trial_of_spec (spec : Job.spec) ~(seed : int) : raw_trial =
+  run_trial ~cfg:spec.Job.cfg ~profile:spec.Job.profile ~scale:spec.Job.scale ~seed
+
+(* JSONL payload of one trial *)
+let sink_metrics (t : raw_trial) : (string * float) list =
+  let m = t.r_metrics in
+  let f = float_of_int in
+  [
+    ("time_ms", t.r_time);
+    ("full_gcs", f m.Holes.Metrics.full_gcs);
+    ("nursery_gcs", f m.Holes.Metrics.nursery_gcs);
+    ("borrowed", f t.r_borrowed);
+    ("perfect_requests", f t.r_perfect_requests);
+    ("hole_skips", f m.Holes.Metrics.hole_skips);
+    ("bytes_copied", f m.Holes.Metrics.bytes_copied);
+    ("device_writes", f m.Holes.Metrics.device_writes);
+    ("device_line_failures", f m.Holes.Metrics.device_line_failures);
+    ("os_upcalls", f m.Holes.Metrics.os_upcalls);
+    ("reverse_translations", f m.Holes.Metrics.reverse_translations);
+    ("swap_ins", f m.Holes.Metrics.swap_ins);
+    ("fbuf_peak", f m.Holes.Metrics.fbuf_peak_occupancy);
+  ]
+
+let sink_outcome (t : raw_trial) : string = if t.r_completed then "ok" else "oom"
+
+(* Fold raw trials into the CI statistics the figures consume.  [trials]
+   is the planned count; a crashed job (engine [Failed]) contributes to
+   the denominator but has no metrics. *)
+let outcome_of_trials ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile.t)
+    ~(trials : int) (raw : raw_trial list) : outcome =
+  let done_ = List.filter (fun t -> t.r_completed) raw in
+  let meanf f = match raw with [] -> 0.0 | _ -> Stats.mean (List.map f raw) in
+  let pauses =
+    List.concat_map (fun t -> t.r_metrics.Holes.Metrics.pauses_ns) done_
+    |> List.map (fun ns -> ns /. 1.0e6)
+  in
+  {
+    profile = profile.Holes_workload.Profile.name;
+    cfg;
+    completed = List.length done_;
+    trials;
+    time_ms =
+      (match done_ with
+      | [] -> None
+      | _ -> Some (Stats.summarize (List.map (fun t -> t.r_time) done_)));
+    mean_full_pause_ms = (match pauses with [] -> 0.0 | _ -> Stats.mean pauses);
+    max_full_pause_ms = (match pauses with [] -> 0.0 | _ -> Stats.maximum pauses);
+    mean_full_gcs = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.full_gcs);
+    mean_nursery_gcs = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.nursery_gcs);
+    mean_borrowed = meanf (fun t -> float_of_int t.r_borrowed);
+    mean_perfect_requests = meanf (fun t -> float_of_int t.r_perfect_requests);
+    mean_hole_skips = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.hole_skips);
+    mean_bytes_copied = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.bytes_copied);
+    mean_device_writes = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.device_writes);
+    mean_device_failures =
+      meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.device_line_failures);
+    mean_upcalls = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.os_upcalls);
+    mean_reverse_translations =
+      meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.reverse_translations);
+    mean_swap_ins = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.swap_ins);
+    mean_fbuf_peak =
+      meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.fbuf_peak_occupancy);
+  }
+
+(* run a planned spec array through the engine and fold each contiguous
+   [seeds]-sized slice (one (cfg, profile) pair) into the cache *)
+let run_specs_into_cache ~(params : params)
+    ~(pairs : (Holes.Config.t * Holes_workload.Profile.t) list) : unit =
+  let specs = Engine.plan_pairs ~pairs ~scale:params.scale ~seeds:params.seeds in
+  let results =
+    Engine.run ~jobs:params.jobs ?sink:!sink ~metrics:sink_metrics ~outcome_label:sink_outcome
+      ~f:trial_of_spec specs
+  in
+  List.iteri
+    (fun gi (cfg, profile) ->
+      let raw =
+        List.init params.seeds (fun i ->
+            match results.((gi * params.seeds) + i).Engine.outcome with
+            | Holes_engine.Pool.Done t -> Some t
+            | Holes_engine.Pool.Failed _ -> None)
+        |> List.filter_map Fun.id
+      in
+      let o = outcome_of_trials ~cfg ~profile ~trials:params.seeds raw in
+      with_cache (fun () -> Hashtbl.replace cache (cache_key cfg profile params) o))
+    pairs
+
+(** Populate the memo cache for a whole grid in one engine run: every
+    trial of every not-yet-cached (cfg × profile) pair is sharded across
+    the pool at once.  Figure drivers call this with their full grid so
+    [-j] parallelism spans the grid, not one seed group. *)
+let prefetch ?(params = quick) ~(cfgs : Holes.Config.t list)
+    ~(profiles : Holes_workload.Profile.t list) () : unit =
+  let seen = Hashtbl.create 64 in
+  let pending =
+    List.concat_map (fun cfg -> List.map (fun p -> (cfg, p)) profiles) cfgs
+    |> List.filter (fun (cfg, p) ->
+           let key = cache_key cfg p params in
+           (not (Hashtbl.mem seen key))
+           && begin
+                Hashtbl.add seen key ();
+                not (with_cache (fun () -> Hashtbl.mem cache key))
+              end)
+  in
+  if pending <> [] then run_specs_into_cache ~params ~pairs:pending
+
 (** Run (or fetch from cache) all trials of [cfg] × [profile]. *)
 let run ?(params = quick) ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile.t) () :
     outcome =
   let key = cache_key cfg profile params in
-  match Hashtbl.find_opt cache key with
+  match with_cache (fun () -> Hashtbl.find_opt cache key) with
   | Some o -> o
   | None ->
-      let trials =
-        List.init params.seeds (fun i ->
-            run_trial ~cfg ~profile ~scale:params.scale ~seed:(41 + (1009 * i)))
-      in
-      let done_ = List.filter (fun t -> t.r_completed) trials in
-      let meanf f = match trials with [] -> 0.0 | _ -> Stats.mean (List.map f trials) in
-      let pauses =
-        List.concat_map (fun t -> t.r_metrics.Holes.Metrics.pauses_ns) done_
-        |> List.map (fun ns -> ns /. 1.0e6)
-      in
-      let o =
-        {
-          profile = profile.Holes_workload.Profile.name;
-          cfg;
-          completed = List.length done_;
-          trials = List.length trials;
-          time_ms =
-            (match done_ with
-            | [] -> None
-            | _ -> Some (Stats.summarize (List.map (fun t -> t.r_time) done_)));
-          mean_full_pause_ms = (match pauses with [] -> 0.0 | _ -> Stats.mean pauses);
-          max_full_pause_ms = (match pauses with [] -> 0.0 | _ -> Stats.maximum pauses);
-          mean_full_gcs = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.full_gcs);
-          mean_nursery_gcs = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.nursery_gcs);
-          mean_borrowed = meanf (fun t -> float_of_int t.r_borrowed);
-          mean_perfect_requests = meanf (fun t -> float_of_int t.r_perfect_requests);
-          mean_hole_skips = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.hole_skips);
-          mean_bytes_copied = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.bytes_copied);
-          mean_device_writes =
-            meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.device_writes);
-          mean_device_failures =
-            meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.device_line_failures);
-          mean_upcalls = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.os_upcalls);
-          mean_reverse_translations =
-            meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.reverse_translations);
-          mean_swap_ins = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.swap_ins);
-          mean_fbuf_peak =
-            meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.fbuf_peak_occupancy);
-        }
-      in
-      Hashtbl.replace cache key o;
-      o
+      run_specs_into_cache ~params ~pairs:[ (cfg, profile) ];
+      with_cache (fun () ->
+          match Hashtbl.find_opt cache key with Some o -> o | None -> assert false)
 
 (** Mean time of a completed outcome, or None if any trial failed (a DNF
     point, dropped from aggregate curves as in the paper). *)

@@ -51,7 +51,11 @@ let rounds_until_wearout ~(cfg : Cfg.t) ~(profile : Holes_workload.Profile.t)
   (!rounds, Holes.Vm.metrics vm)
 
 (** Rounds survived and pipeline activity across a mean-endurance sweep:
-    the lifetime the cooperative pipeline buys as endurance shrinks. *)
+    the lifetime the cooperative pipeline buys as endurance shrinks.
+    Each endurance point is one engine job — the whole sweep shards
+    across [params.jobs] domains, each point owning its device and VM
+    outright.  A point's result depends only on its config, so the table
+    is identical at any [-j]. *)
 let table ?(params = Runner.quick) () : Table.t =
   let t =
     Table.create
@@ -63,20 +67,52 @@ let table ?(params = Runner.quick) () : Table.t =
   in
   let profile = Holes_workload.Dacapo.pmd in
   let max_rounds = if params == Runner.full then 12 else 6 in
-  List.iter
-    (fun endurance ->
-      let cfg = device_cfg ~endurance in
-      let rounds, m =
-        rounds_until_wearout ~cfg ~profile ~scale:(params.Runner.scale /. 2.0) ~max_rounds
-      in
-      Table.add_row t
+  let endurances = [ 200.0; 50.0; 20.0; 10.0; 5.0 ] in
+  let specs =
+    Array.of_list
+      (List.map
+         (fun endurance ->
+           {
+             Holes_engine.Job.cfg = device_cfg ~endurance;
+             profile;
+             scale = params.Runner.scale /. 2.0;
+             seed_index = 0;
+           })
+         endurances)
+  in
+  let results =
+    Holes_engine.Engine.run ~jobs:params.Runner.jobs
+      ?sink:(Runner.current_sink ())
+      ~metrics:(fun (rounds, m) ->
         [
-          Printf.sprintf "%.0f" endurance;
-          (if rounds >= max_rounds then Printf.sprintf ">=%d" rounds
-           else string_of_int rounds);
-          string_of_int m.Holes.Metrics.device_writes;
-          string_of_int m.Holes.Metrics.device_line_failures;
-          string_of_int m.Holes.Metrics.os_upcalls;
+          ("rounds", float_of_int rounds);
+          ("device_writes", float_of_int m.Holes.Metrics.device_writes);
+          ("device_line_failures", float_of_int m.Holes.Metrics.device_line_failures);
+          ("os_upcalls", float_of_int m.Holes.Metrics.os_upcalls);
         ])
-    [ 200.0; 50.0; 20.0; 10.0; 5.0 ];
+      ~f:(fun spec ~seed:_ ->
+        (* wear-out is a property of the aging device, not of trial
+           noise: the round RNG derives from cfg.seed so the point is a
+           pure function of its spec *)
+        rounds_until_wearout ~cfg:spec.Holes_engine.Job.cfg
+          ~profile:spec.Holes_engine.Job.profile ~scale:spec.Holes_engine.Job.scale
+          ~max_rounds)
+      specs
+  in
+  List.iteri
+    (fun i endurance ->
+      match results.(i).Holes_engine.Engine.outcome with
+      | Holes_engine.Pool.Done (rounds, m) ->
+          Table.add_row t
+            [
+              Printf.sprintf "%.0f" endurance;
+              (if rounds >= max_rounds then Printf.sprintf ">=%d" rounds
+               else string_of_int rounds);
+              string_of_int m.Holes.Metrics.device_writes;
+              string_of_int m.Holes.Metrics.device_line_failures;
+              string_of_int m.Holes.Metrics.os_upcalls;
+            ]
+      | Holes_engine.Pool.Failed { exn; _ } ->
+          Table.add_row t [ Printf.sprintf "%.0f" endurance; "error: " ^ exn; "-"; "-"; "-" ])
+    endurances;
   t

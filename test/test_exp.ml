@@ -8,7 +8,7 @@ module Bitset = Holes_stdx.Bitset
 
 let check = Alcotest.check
 
-let tiny = { R.scale = 0.05; seeds = 2 }
+let tiny = { R.scale = 0.05; seeds = 2; jobs = 1 }
 
 let test_runner_basic () =
   let o = R.run ~params:tiny ~cfg:Cfg.default ~profile:Holes_workload.Dacapo.luindex () in
@@ -25,7 +25,7 @@ let test_runner_memoizes () =
 
 let test_runner_seed_variation () =
   (* different seeds produce (at least slightly) different times *)
-  let o = R.run ~params:{ R.scale = 0.05; seeds = 3 } ~cfg:Cfg.default
+  let o = R.run ~params:{ R.scale = 0.05; seeds = 3; jobs = 1 } ~cfg:Cfg.default
       ~profile:Holes_workload.Dacapo.bloat () in
   match o.R.time_ms with
   | Some s -> Alcotest.(check bool) "variance across seeds" true (s.Holes_stdx.Stats.max > s.Holes_stdx.Stats.min)

@@ -13,6 +13,7 @@ let () =
       ("vm", Test_vm.suite);
       ("workload", Test_workload.suite);
       ("exp", Test_exp.suite);
+      ("engine", Test_engine.suite);
       ("integration", Test_integration.suite);
       ("backend", Test_backend.suite);
     ]
