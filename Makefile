@@ -1,8 +1,11 @@
 # Development entry points.  `make check` is the tier-1 gate: build +
-# full test suite, plus a formatting check when ocamlformat is
-# available (the check is skipped, not failed, on machines without it).
+# full test suite + markdown link lint, plus a formatting check when
+# ocamlformat is available (the check is skipped, not failed, on
+# machines without it).
 
-.PHONY: all build test check fmt bench figures-quick speedup quickstart clean
+.PHONY: all build test check fmt doc lint-md bench figures-quick speedup quickstart clean
+
+MD_FILES := README.md DESIGN.md EXPERIMENTS.md CHANGES.md ROADMAP.md
 
 all: build
 
@@ -19,15 +22,30 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test fmt
+# API docs via odoc (the .mli comments in lib/obs and lib/engine).
+# Gated on odoc being installed; CI installs it and fails on warnings.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+		dune build @doc; \
+		echo "docs: _build/default/_doc/_html/index.html"; \
+	else \
+		echo "odoc not installed; skipping doc build"; \
+	fi
+
+# Dead-link and dead-anchor lint over the prose (fails on any).
+lint-md:
+	dune exec tools/mdlint.exe -- $(MD_FILES)
+
+check: build test lint-md fmt
 
 bench:
 	dune exec bench/main.exe
 
 # Reduced figure grid on 2 worker domains, streaming one JSONL record
-# per trial: the CI perf-trajectory artifact.
+# per trial plus a Chrome trace of every trial: the CI perf-trajectory
+# artifacts.  The trace is -j-independent (virtual timestamps).
 figures-quick:
-	dune exec bench/main.exe -- figures-quick -j 2 --out results.jsonl
+	dune exec bench/main.exe -- figures-quick -j 2 --out results.jsonl --trace trace.json
 
 # Wall-clock of the reduced grid at -j 1 vs -j max (measures, not
 # asserts, the parallelism win).

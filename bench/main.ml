@@ -9,6 +9,9 @@
                               for one per spare core); tables are
                               bit-identical at any -j
      main.exe --out F.jsonl   stream one JSONL record per trial to F
+     main.exe --trace F.json  write a Chrome trace_event JSON of every
+                              executed trial (Perfetto-loadable; virtual
+                              timestamps, bit-identical at any -j)
      main.exe fig3 … fig10    a single figure
      main.exe pauses          the Sec. 4.2 pause-time table
      main.exe headline        the Sec. 8 headline overheads
@@ -197,9 +200,9 @@ let run_speedup () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse (jobs, out, fullp, names) = function
-    | [] -> (jobs, out, fullp, List.rev names)
-    | "--full" :: rest -> parse (jobs, out, true, names) rest
+  let rec parse (jobs, out, trace, fullp, names) = function
+    | [] -> (jobs, out, trace, fullp, List.rev names)
+    | "--full" :: rest -> parse (jobs, out, trace, true, names) rest
     | ("-j" | "--jobs") :: n :: rest ->
         let j =
           if n = "max" then Holes_engine.Engine.default_jobs ()
@@ -208,11 +211,12 @@ let () =
             | Some j when j >= 1 -> j
             | _ -> failwith (Printf.sprintf "bad -j value %S (positive integer or \"max\")" n)
         in
-        parse (j, out, fullp, names) rest
-    | "--out" :: path :: rest -> parse (jobs, Some path, fullp, names) rest
-    | name :: rest -> parse (jobs, out, fullp, name :: names) rest
+        parse (j, out, trace, fullp, names) rest
+    | "--out" :: path :: rest -> parse (jobs, Some path, trace, fullp, names) rest
+    | "--trace" :: path :: rest -> parse (jobs, out, Some path, fullp, names) rest
+    | name :: rest -> parse (jobs, out, trace, fullp, name :: names) rest
   in
-  let jobs, out, fullp, args = parse (1, None, false, []) args in
+  let jobs, out, trace, fullp, args = parse (1, None, None, false, []) args in
   let params =
     let p = if fullp then Holes_exp.Runner.full else Holes_exp.Runner.quick in
     { p with Holes_exp.Runner.jobs }
@@ -223,7 +227,18 @@ let () =
     else None
   in
   Holes_exp.Runner.set_sink sink;
+  let tracer = Option.map (fun _ -> Holes_obs.Trace.create ()) trace in
+  Holes_exp.Runner.set_tracer tracer;
   let finish () =
+    (match (tracer, trace) with
+    | Some tr, Some path ->
+        Holes_obs.Trace.write tr path;
+        Printf.printf "(trace: %s, %d events%s)\n" path
+          (List.length (Holes_obs.Trace.events tr))
+          (let d = Holes_obs.Trace.dropped tr in
+           if d = 0 then "" else Printf.sprintf ", %d dropped" d)
+    | _ -> ());
+    Holes_exp.Runner.set_tracer None;
     (match sink with Some s -> Holes_engine.Sink.close s | None -> ());
     Holes_exp.Runner.set_sink None
   in

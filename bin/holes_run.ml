@@ -10,7 +10,14 @@
    prints the aggregated statistics; --out streams one JSONL record per
    trial.
 
-     dune exec bin/holes_run.exe -- -b pmd -r 0.25 --trials 8 -j 4 --out t.jsonl *)
+     dune exec bin/holes_run.exe -- -b pmd -r 0.25 --trials 8 -j 4 --out t.jsonl
+
+   Observability: --trace FILE writes a Chrome trace_event JSON of the
+   run (open in Perfetto / chrome://tracing; timestamps are modeled
+   nanoseconds, so the file is identical at any -j); --stats prints the
+   pause/hole-search/buffer-occupancy histograms.
+
+     dune exec bin/holes_run.exe -- -b pmd --backend device --trace t.json --stats *)
 
 open Cmdliner
 
@@ -42,7 +49,7 @@ let print_outcome (profile : Holes_workload.Profile.t) (cfg : Holes.Config.t) ~(
   if o.Holes_exp.Runner.completed = o.Holes_exp.Runner.trials then 0 else 2
 
 let run list_benches bench collector line_size rate dist compensate arraylets backend endurance
-    heap scale seed trials jobs out verbose =
+    heap scale seed trials jobs out trace stats verbose =
   if list_benches then begin
     print_endline "available benchmark profiles:";
     List.iter
@@ -109,18 +116,34 @@ let run list_benches bench collector line_size rate dist compensate arraylets ba
         | Error m ->
             Printf.eprintf "invalid configuration: %s\n" m;
             1
-        | Ok () when trials > 1 || out <> None ->
-            (* multi-seed (or JSONL-streaming) mode: through the engine *)
+        | Ok () when trials > 1 || out <> None || trace <> None ->
+            (* multi-seed (or JSONL-streaming / tracing) mode: through
+               the engine, so trace pids come from job specs *)
             let sink = Option.map (fun path -> Holes_engine.Sink.create ~path ()) out in
             Holes_exp.Runner.set_sink sink;
+            let tracer = Option.map (fun _ -> Holes_obs.Trace.create ()) trace in
+            Holes_exp.Runner.set_tracer tracer;
             Fun.protect
               ~finally:(fun () ->
+                (match (tracer, trace) with
+                | Some tr, Some path ->
+                    Holes_obs.Trace.write tr path;
+                    Printf.printf "trace:      %s (%d events%s)\n" path
+                      (List.length (Holes_obs.Trace.events tr))
+                      (let d = Holes_obs.Trace.dropped tr in
+                       if d = 0 then "" else Printf.sprintf ", %d dropped" d)
+                | _ -> ());
+                Holes_exp.Runner.set_tracer None;
                 (match sink with Some s -> Holes_engine.Sink.close s | None -> ());
                 Holes_exp.Runner.set_sink None)
               (fun () ->
                 let params = { Holes_exp.Runner.scale; seeds = trials; jobs } in
                 let o = Holes_exp.Runner.run ~params ~cfg ~profile () in
-                print_outcome profile cfg ~heap ~jobs o)
+                let code = print_outcome profile cfg ~heap ~jobs o in
+                if stats then
+                  Printf.printf "pause hist: %s\n"
+                    (Holes_obs.Stats.summary_string o.Holes_exp.Runner.pause_hist);
+                code)
         | Ok () ->
             let res = Holes_workload.Generator.run_config ~cfg ~profile ~scale () in
             Printf.printf "benchmark:  %s (%s)\n" profile.Holes_workload.Profile.name
@@ -163,6 +186,15 @@ let run list_benches bench collector line_size rate dist compensate arraylets ba
                 Printf.printf "VMM:        %d reverse translations, %d swap-ins\n"
                   m.Holes.Metrics.reverse_translations m.Holes.Metrics.swap_ins
               end
+            end;
+            if stats then begin
+              let h = Holes_obs.Stats.summary_string in
+              Printf.printf "pause hist (ns):         %s\n" (h m.Holes.Metrics.pause_hist);
+              Printf.printf "nursery pause hist (ns): %s\n"
+                (h m.Holes.Metrics.nursery_pause_hist);
+              Printf.printf "hole search (lines):     %s\n" (h m.Holes.Metrics.hole_search_hist);
+              Printf.printf "fbuf occupancy:          %s\n"
+                (h m.Holes.Metrics.fbuf_occupancy_hist)
             end;
             if res.Holes_workload.Generator.completed then 0 else 2)
 
@@ -222,12 +254,25 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Stream one JSONL record per trial to FILE.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON of the run to FILE (Perfetto-loadable; \
+                   virtual timestamps, identical at any --jobs).  Forces the engine path \
+                   even at --trials 1.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print pause, hole-search and failure-buffer occupancy histograms.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print detailed metrics.") in
   let doc = "run one DaCapo-style workload on the failure-aware runtime" in
   Cmd.v
     (Cmd.info "holes-run" ~doc)
     Term.(
       const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ compensate $ arraylets
-      $ backend $ endurance $ heap $ scale $ seed $ trials $ jobs $ out $ verbose)
+      $ backend $ endurance $ heap $ scale $ seed $ trials $ jobs $ out $ trace $ stats
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

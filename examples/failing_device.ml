@@ -26,8 +26,8 @@ let () =
         }
       ~seed:5 ()
   in
-  let vmm = Osal.Vmm.create ~dram_pages:4 ~pcm_pages:8 in
-  let handler = Osal.Interrupts.attach ~vmm ~device ~dram_pages:4 in
+  let vmm = Osal.Vmm.create ~dram_pages:4 ~pcm_pages:8 () in
+  let handler = Osal.Interrupts.attach ~vmm ~device ~dram_pages:4 () in
   let proc = Osal.Vmm.spawn vmm in
   (match Osal.Vmm.mmap_imperfect vmm proc ~pages:8 with
   | Ok _ -> ()

@@ -17,6 +17,8 @@
 
 open Holes_stdx
 open Holes_heap
+module Trace = Holes_obs.Trace
+module Stats = Holes_obs.Stats
 
 exception Out_of_memory = Oom.Out_of_memory
 
@@ -45,12 +47,13 @@ type t = {
   mutable defrag_requested : bool;
       (** defragment at the next full collection (Immix defragments on
           demand: set by allocation failures and dynamic failures) *)
+  tracer : Trace.view;  (** gc/alloc-lane events: phase spans, slow paths *)
 }
 
 let block_bytes = Units.block_bytes
 
-let create ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics : Metrics.t) ~(stock : Page_stock.t)
-    ~(objects : Object_table.t) ~(los : Los.t) : t =
+let create ?(tracer = Trace.null) ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics : Metrics.t)
+    ~(stock : Page_stock.t) ~(objects : Object_table.t) ~(los : Los.t) () : t =
   let t =
     {
     cfg;
@@ -72,6 +75,7 @@ let create ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics : Metrics.t) ~(stock : P
       nursery = Intvec.create ();
       want_full = false;
       defrag_requested = false;
+      tracer;
     }
   in
   (* the "has sufficient memory" test for DRAM borrowing must see the
@@ -197,6 +201,7 @@ let set_cursor_to_hole (t : t) (b : Block.t) ~(from_line : int) ~(min_bytes : in
       let w = weights t in
       Cost.charge t.cost (w.Cost.line_scan *. float_of_int examined);
       t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
+      Stats.observe t.metrics.Metrics.hole_search_hist (float_of_int examined);
       t.cur_block <- b.Block.index;
       t.cursor <- b.Block.base + (s * b.Block.line_size);
       t.limit <- b.Block.base + (e * b.Block.line_size);
@@ -217,7 +222,9 @@ let rec alloc_small_nogc (t : t) ~(size : int) : int option =
       let ok = set_cursor_to_hole t b ~from_line ~min_bytes:size in
       if ok then begin
         Cost.charge t.cost w.Cost.hole_skip;
-        t.metrics.Metrics.hole_skips <- t.metrics.Metrics.hole_skips + 1
+        t.metrics.Metrics.hole_skips <- t.metrics.Metrics.hole_skips + 1;
+        if Trace.armed t.tracer then
+          Trace.instant t.tracer ~tid:Trace.tid_alloc "hole_skip"
       end;
       ok
     in
@@ -278,12 +285,16 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
         &&
         let b = block t t.ovf_block in
         t.metrics.Metrics.overflow_searches <- t.metrics.Metrics.overflow_searches + 1;
+        if Trace.armed t.tracer then
+          Trace.instant t.tracer ~tid:Trace.tid_alloc "overflow_search"
+            ~args:[ ("size", float_of_int size) ];
         match Block.find_hole b ~from_line:0 ~min_bytes:size with
         | None -> false
         | Some (s, e, examined) ->
             Cost.charge t.cost
               (w.Cost.hole_skip +. (w.Cost.line_scan *. float_of_int examined));
             t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
+            Stats.observe t.metrics.Metrics.hole_search_hist (float_of_int examined);
             t.metrics.Metrics.hole_skips <- t.metrics.Metrics.hole_skips + 1;
             t.ovf_cursor <- b.Block.base + (s * b.Block.line_size);
             t.ovf_limit <- b.Block.base + (e * b.Block.line_size);
@@ -299,6 +310,7 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
             | Some (s, e, examined) ->
                 Cost.charge t.cost (w.Cost.line_scan *. float_of_int examined);
                 t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
+                Stats.observe t.metrics.Metrics.hole_search_hist (float_of_int examined);
                 t.ovf_block <- bi;
                 t.ovf_cursor <- b.Block.base + (s * b.Block.line_size);
                 t.ovf_limit <- b.Block.base + (e * b.Block.line_size);
@@ -319,6 +331,9 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
    the DRAM borrow budget are both exhausted (caller collects/fails). *)
 let alloc_medium_perfect (t : t) ~(size : int) : int option =
   t.metrics.Metrics.perfect_block_fallbacks <- t.metrics.Metrics.perfect_block_fallbacks + 1;
+  if Trace.armed t.tracer then
+    Trace.instant t.tracer ~tid:Trace.tid_alloc "perfect_fallback"
+      ~args:[ ("size", float_of_int size) ];
   match assemble_perfect_block t with
   | None -> None
   | Some bi ->
@@ -409,11 +424,14 @@ let evacuate_block (t : t) (b : Block.t) : int =
     optionally defragment sparse or failure-hit blocks by evacuation. *)
 let full_gc (t : t) : unit =
   let w = weights t in
+  let armed = Trace.armed t.tracer in
   Cost.begin_gc t.cost;
+  if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "full_gc";
   Cost.charge t.cost w.Cost.gc_fixed;
   reset_cursors t;
   Hashtbl.iter (fun _ b -> Block.clear_marks b) t.blocks;
   (* trace live objects; reclaim dead ones *)
+  if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "mark";
   Object_table.iter_slots t.objects (fun id ->
       if Object_table.is_alive t.objects id then begin
         let nrefs = List.length (Object_table.refs t.objects id) in
@@ -431,10 +449,13 @@ let full_gc (t : t) : unit =
           Los.free t.los ~addr:(Object_table.addr t.objects id);
         Object_table.release t.objects id
       end);
+  if armed then Trace.end_span t.tracer ~tid:Trace.tid_gc "mark";
   (* sweep: dissolve empty blocks *)
+  if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "sweep";
   let empties = ref [] in
   Hashtbl.iter (fun _ b -> if Block.is_empty b then empties := b :: !empties) t.blocks;
   List.iter (dissolve_block t) !empties;
+  if armed then Trace.end_span t.tracer ~tid:Trace.tid_gc "sweep";
   (* defragmentation / dynamic-failure evacuation: blocks flagged by a
      dynamic failure are always evacuated; sparse blocks additionally
      when defragmentation is enabled *)
@@ -472,6 +493,9 @@ let full_gc (t : t) : unit =
   in
   let candidates = ref (!flagged @ evacuated) in
   if !candidates <> [] then begin
+    if armed then
+      Trace.begin_span t.tracer ~tid:Trace.tid_gc "defrag"
+        ~args:[ ("candidates", float_of_int (List.length !candidates)) ];
     let is_candidate =
       let set = Hashtbl.create 16 in
       List.iter (fun b -> Hashtbl.replace set b.Block.index ()) !candidates;
@@ -488,7 +512,8 @@ let full_gc (t : t) : unit =
     (if Sys.getenv_opt "HOLES_DEBUG_DEFRAG" <> None then
        Printf.eprintf "[defrag] evac done left=%d dissolved=%d evacuated=%d\n%!" !left_behind
          (List.length !empties) t.metrics.Metrics.objects_evacuated);
-    List.iter (dissolve_block t) !empties
+    List.iter (dissolve_block t) !empties;
+    if armed then Trace.end_span t.tracer ~tid:Trace.tid_gc "defrag"
   end;
   rebuild_recyclable t ~except:(fun _ -> false);
   Intvec.clear t.nursery;
@@ -498,6 +523,9 @@ let full_gc (t : t) : unit =
   let pause = Cost.end_gc t.cost in
   t.metrics.Metrics.full_gcs <- t.metrics.Metrics.full_gcs + 1;
   t.metrics.Metrics.pauses_ns <- pause :: t.metrics.Metrics.pauses_ns;
+  Stats.observe t.metrics.Metrics.pause_hist pause;
+  if armed then
+    Trace.end_span t.tracer ~tid:Trace.tid_gc "full_gc" ~args:[ ("pause_ns", pause) ];
   let live = Object_table.live_bytes t.objects in
   if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live
 
@@ -506,7 +534,9 @@ let full_gc (t : t) : unit =
     copied into available holes (Sec. 4.1 "Sticky Immix"). *)
 let nursery_gc (t : t) : unit =
   let w = weights t in
+  let armed = Trace.armed t.tracer in
   Cost.begin_gc t.cost;
+  if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "nursery_gc";
   Cost.charge t.cost w.Cost.gc_nursery_fixed;
   let free_before = total_free_bytes t in
   Cost.charge t.cost (w.Cost.remset_entry *. float_of_int (Remset.size t.remset));
@@ -556,6 +586,9 @@ let nursery_gc (t : t) : unit =
   let pause = Cost.end_gc t.cost in
   t.metrics.Metrics.nursery_gcs <- t.metrics.Metrics.nursery_gcs + 1;
   t.metrics.Metrics.nursery_pauses_ns <- pause :: t.metrics.Metrics.nursery_pauses_ns;
+  Stats.observe t.metrics.Metrics.nursery_pause_hist pause;
+  if armed then
+    Trace.end_span t.tracer ~tid:Trace.tid_gc "nursery_gc" ~args:[ ("pause_ns", pause) ];
   let live = Object_table.live_bytes t.objects in
   if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live
 
@@ -634,6 +667,9 @@ let write_barrier (t : t) ~(src : int) : unit =
     so a reassembled block later sees the hole. *)
 let rec dynamic_failure (t : t) ~(addr : int) : unit =
   t.metrics.Metrics.dynamic_failures <- t.metrics.Metrics.dynamic_failures + 1;
+  if Trace.armed t.tracer then
+    Trace.instant t.tracer ~tid:Trace.tid_gc "dynamic_failure"
+      ~args:[ ("addr", float_of_int addr) ];
   let bi = addr / block_bytes in
   match Hashtbl.find_opt t.blocks bi with
   | None ->

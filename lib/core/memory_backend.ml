@@ -19,6 +19,8 @@
 open Holes_stdx
 module Pcm = Holes_pcm
 module Osal = Holes_osal
+module Trace = Holes_obs.Trace
+module Stats = Holes_obs.Stats
 
 type device_state = {
   device : Pcm.Device.t;
@@ -59,8 +61,8 @@ let physical_failure_map (cfg : Config.t) ~(rng : Xrng.t) ~(nlines : int) : Bits
     whole heap with [mmap_imperfect].  Returns the backend state and the
     per-page failure bitmaps read back through [map_failures] — the
     grants the page stock is built over. *)
-let create_device ~(cfg : Config.t) ~(params : Config.device_params) ~(metrics : Metrics.t)
-    ~(npages : int) : device_state * Bitset.t array =
+let create_device ?(tracer = Trace.null) ~(cfg : Config.t) ~(params : Config.device_params)
+    ~(metrics : Metrics.t) ~(npages : int) () : device_state * Bitset.t array =
   let clustering =
     match cfg.Config.failure_dist with
     | Config.Hw_cluster region_pages -> Some region_pages
@@ -77,14 +79,14 @@ let create_device ~(cfg : Config.t) ~(params : Config.device_params) ~(metrics :
           clustering;
           buffer_capacity = params.Config.buffer_capacity;
         }
-      ~seed:cfg.Config.seed ()
+      ~tracer ~seed:cfg.Config.seed ()
   in
   let rng = Xrng.of_seed cfg.Config.seed in
   if cfg.Config.failure_rate > 0.0 then
     Pcm.Device.preinstall_failures device
       (physical_failure_map cfg ~rng ~nlines:(device_pages * lines_per_page));
   let dram_pages = params.Config.dram_pages in
-  let vmm = Osal.Vmm.create ~dram_pages ~pcm_pages:device_pages in
+  let vmm = Osal.Vmm.create ~tracer ~dram_pages ~pcm_pages:device_pages () in
   (* OS boot scan: publish the device's unusable lines in the failure
      table and page descriptors, then rebuild the free pools in one pass *)
   let table = Osal.Vmm.failure_table vmm in
@@ -96,7 +98,7 @@ let create_device ~(cfg : Config.t) ~(params : Config.device_params) ~(metrics :
       ignore (Osal.Page.mark_line_failed (Osal.Pools.page pools (dram_pages + page)) ~line))
     (Pcm.Device.unusable_lines device);
   Osal.Pools.renormalize pools;
-  let interrupts = Osal.Interrupts.attach ~vmm ~device ~dram_pages in
+  let interrupts = Osal.Interrupts.attach ~tracer ~vmm ~device ~dram_pages () in
   let proc = Osal.Vmm.spawn vmm in
   let virts =
     match Osal.Vmm.mmap_imperfect vmm proc ~pages:device_pages with
@@ -148,6 +150,8 @@ type write_outcome =
     stalled device (failure-buffer pressure) is drained and the write
     retried once. *)
 let device_write (st : device_state) ~(stock_page : int) ~(line : int) : write_outcome =
+  Stats.observe st.metrics.Metrics.fbuf_occupancy_hist
+    (float_of_int (Pcm.Device.buffer_occupancy st.device));
   match Osal.Vmm.translate st.proc ~virt:st.virt_of_stock.(stock_page) with
   | None -> Skipped
   | Some phys when phys < st.dram_pages -> Skipped

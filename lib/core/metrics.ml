@@ -36,6 +36,14 @@ type t = {
   mutable os_data_restores : int;  (** clustering re-backed the failing address *)
   mutable reverse_translations : int;
   mutable swap_ins : int;
+  (* always-on phase histograms (Obs.Stats): populated by the collector
+     and the device write path regardless of tracing, so they are part of
+     the deterministic outcome rather than an observability side channel *)
+  pause_hist : Holes_obs.Stats.hist;  (** full-heap pause, ns *)
+  nursery_pause_hist : Holes_obs.Stats.hist;  (** nursery pause, ns *)
+  hole_search_hist : Holes_obs.Stats.hist;  (** lines examined per hole search *)
+  fbuf_occupancy_hist : Holes_obs.Stats.hist;
+      (** failure-buffer occupancy sampled at each charged device write *)
 }
 
 let create () : t =
@@ -72,6 +80,10 @@ let create () : t =
     os_data_restores = 0;
     reverse_translations = 0;
     swap_ins = 0;
+    pause_hist = Holes_obs.Stats.hist ();
+    nursery_pause_hist = Holes_obs.Stats.hist ();
+    hole_search_hist = Holes_obs.Stats.hist ();
+    fbuf_occupancy_hist = Holes_obs.Stats.hist ();
   }
 
 let gcs (t : t) : int = t.full_gcs + t.nursery_gcs
@@ -83,3 +95,45 @@ let mean_full_pause_ms (t : t) : float option =
 
 let max_full_pause_ms (t : t) : float option =
   match t.pauses_ns with [] -> None | ps -> Some (Holes_stdx.Stats.maximum ps /. 1.0e6)
+
+(** The full snapshot as flat key/value fields — every counter plus the
+    histogram summaries — for the engine's JSONL sink (one record per
+    trial must carry the whole pipeline, not a hand-picked subset). *)
+let to_fields (t : t) : (string * float) list =
+  let f = float_of_int in
+  [
+    ("objects_allocated", f t.objects_allocated);
+    ("bytes_allocated", f t.bytes_allocated);
+    ("full_gcs", f t.full_gcs);
+    ("nursery_gcs", f t.nursery_gcs);
+    ("bytes_copied", f t.bytes_copied);
+    ("objects_evacuated", f t.objects_evacuated);
+    ("hole_skips", f t.hole_skips);
+    ("lines_scanned", f t.lines_scanned);
+    ("blocks_assembled", f t.blocks_assembled);
+    ("overflow_allocs", f t.overflow_allocs);
+    ("overflow_searches", f t.overflow_searches);
+    ("perfect_block_fallbacks", f t.perfect_block_fallbacks);
+    ("los_objects", f t.los_objects);
+    ("los_pages", f t.los_pages);
+    ("arraylet_arrays", f t.arraylet_arrays);
+    ("arraylet_pieces", f t.arraylet_pieces);
+    ("dynamic_failures", f t.dynamic_failures);
+    ("peak_live_bytes", f t.peak_live_bytes);
+    ("out_of_memory", if t.out_of_memory then 1.0 else 0.0);
+    ("oom_request", f t.oom_request);
+    ("device_reads", f t.device_reads);
+    ("device_writes", f t.device_writes);
+    ("device_line_failures", f t.device_line_failures);
+    ("fbuf_peak_occupancy", f t.fbuf_peak_occupancy);
+    ("fbuf_stall_events", f t.fbuf_stall_events);
+    ("os_upcalls", f t.os_upcalls);
+    ("os_page_copies", f t.os_page_copies);
+    ("os_data_restores", f t.os_data_restores);
+    ("reverse_translations", f t.reverse_translations);
+    ("swap_ins", f t.swap_ins);
+  ]
+  @ Holes_obs.Stats.to_fields ~prefix:"pause_ns" t.pause_hist
+  @ Holes_obs.Stats.to_fields ~prefix:"nursery_pause_ns" t.nursery_pause_hist
+  @ Holes_obs.Stats.to_fields ~prefix:"hole_search_lines" t.hole_search_hist
+  @ Holes_obs.Stats.to_fields ~prefix:"fbuf_occupancy" t.fbuf_occupancy_hist

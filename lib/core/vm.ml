@@ -11,6 +11,7 @@
 
 open Holes_stdx
 open Holes_heap
+module Trace = Holes_obs.Trace
 
 exception Out_of_memory = Immix.Out_of_memory
 
@@ -28,6 +29,9 @@ type t = {
   heap_pages : int;  (** pages granted (after compensation) *)
   arraylet_spines : (int, int list) Hashtbl.t;
       (** spine object id -> arraylet piece ids (Z-rays mode) *)
+  tracer : Trace.view;
+      (** trace destination for every layer below; its clock is this
+          VM's cost model, so timestamps are virtual (deterministic) *)
 }
 
 let page_bytes = Holes_pcm.Geometry.page_bytes
@@ -116,6 +120,9 @@ let relocate_los_victim (t : t) ~(addr : int) : unit =
 let handle_line_retired (t : t) ~(stock_page : int) ~(line : int) ~(data : Bytes.t option) :
     unit =
   ignore data;
+  if Trace.armed t.tracer then
+    Trace.instant t.tracer ~tid:Trace.tid_gc "line_retired"
+      ~args:[ ("stock_page", float_of_int stock_page); ("line", float_of_int line) ];
   match t.space with
   | Ms _ -> ()
   | Ix s -> (
@@ -167,7 +174,7 @@ let charge_device_writes (t : t) ~(id : int) : unit =
     receives the page count and must return a bitmap of
     [npages * 64] lines. *)
 let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) option)
-    ~(min_heap_bytes : int) () : t =
+    ?(tracer = Trace.null) ~(min_heap_bytes : int) () : t =
   (match Config.validate cfg with Ok () -> () | Error m -> invalid_arg ("Vm.create: " ^ m));
   let heap_bytes =
     int_of_float (cfg.Config.heap_factor *. float_of_int min_heap_bytes)
@@ -179,6 +186,9 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
     else base_pages
   in
   let cost = Cost.create () in
+  (* virtual clock: trace timestamps are modeled nanoseconds, so traces
+     are deterministic and independent of host speed or -j parallelism *)
+  Trace.set_clock tracer (fun () -> Cost.total_ns cost);
   let metrics = Metrics.create () in
   let backend, stock, heap_pages =
     match cfg.Config.backend with
@@ -196,7 +206,9 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
     | Config.Device params ->
         if device_map <> None then
           invalid_arg "Vm.create: device_map overrides apply to the static backend only";
-        let st, bitmaps = Memory_backend.create_device ~cfg ~params ~metrics ~npages:pages in
+        let st, bitmaps =
+          Memory_backend.create_device ~tracer ~cfg ~params ~metrics ~npages:pages ()
+        in
         let stock = Page_stock.create_of_bitmaps ~line_size:cfg.Config.line_size ~bitmaps () in
         (Memory_backend.Device st, stock, Array.length bitmaps)
   in
@@ -204,12 +216,12 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
   let los = Los.create ~stock ~cost ~metrics in
   let space =
     if Config.is_immix cfg.Config.collector then
-      Ix (Immix.create ~cfg ~cost ~metrics ~stock ~objects ~los)
+      Ix (Immix.create ~tracer ~cfg ~cost ~metrics ~stock ~objects ~los ())
     else Ms (Mark_sweep.create ~cfg ~cost ~metrics ~stock ~objects ~los)
   in
   let t =
     { cfg; cost; metrics; objects; stock; los; space; backend; heap_pages;
-      arraylet_spines = Hashtbl.create 64 }
+      arraylet_spines = Hashtbl.create 64; tracer }
   in
   (match backend with
   | Memory_backend.Static -> ()

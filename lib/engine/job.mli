@@ -1,0 +1,29 @@
+(** A trial-job specification: one point of an experiment grid.
+
+    The job carries everything a worker needs to run the trial — the
+    collector configuration, the workload profile, the volume scale and
+    the trial's index within its multi-seed group — and derives the
+    trial's random seed {e from the spec alone}.  Scheduling (which
+    domain, in what order, alongside what) can therefore never influence
+    a trial's result: [-j 1] and [-j 8] produce bit-identical
+    outcomes. *)
+
+type spec = {
+  cfg : Holes.Config.t;  (** collector / failure configuration *)
+  profile : Holes_workload.Profile.t;  (** workload profile *)
+  scale : float;  (** workload volume scale (1.0 = full) *)
+  seed_index : int;  (** trial number within the (cfg × profile) group *)
+}
+(** One planned trial.  Specs are plain data: they can be compared,
+    hashed and shipped across domains freely. *)
+
+val seed : spec -> int
+(** Deterministic per-trial seed: a 62-bit non-negative hash of
+    configuration name × profile name × base seed × seed index (FNV-1a
+    diffused through a SplitMix64 finalizer).  Depends only on the spec,
+    never on scheduling — the cornerstone of the engine's determinism
+    contract. *)
+
+val label : spec -> string
+(** Human-readable ["config/profile#index"] label for progress lines,
+    error reporting and trace process names. *)

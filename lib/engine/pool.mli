@@ -1,0 +1,66 @@
+(** A fixed-size pool of worker domains fed by a mutex/condition work
+    queue.
+
+    The experiment grids are embarrassingly parallel — thousands of
+    independent trials, each owning its VM outright — so the pool is
+    deliberately simple: {!create} spawns the workers once, {!run_all}
+    pushes a batch and blocks until every job has finished, {!shutdown}
+    drains and joins.  Exceptions raised by a job are captured per job
+    ({!constructor:Failed}) so one crashed trial never takes down a
+    sweep or poisons the pool for later batches. *)
+
+type t
+(** A pool of worker domains.  Create with {!create}; the workers live
+    until {!shutdown}. *)
+
+val default_domains : unit -> int
+(** One worker per spare core: [recommended_domain_count () - 1]
+    (minimum 1).  The orchestrating domain keeps a core for planning,
+    folding and the sink. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] spawns [domains] worker domains (default
+    {!default_domains}) that block on the shared queue.
+
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Number of worker domains the pool was created with. *)
+
+val submit : t -> (worker:int -> unit) -> unit
+(** [submit t run] enqueues one raw task; [run] is called on some worker
+    with that worker's index.  Tasks must never raise — {!run_all} wraps
+    its jobs, but raw submitters must do their own capture (an escaping
+    exception would kill the worker domain).
+
+    @raise Invalid_argument if the pool has been {!shutdown}. *)
+
+type 'a outcome =
+  | Done of 'a  (** the job returned normally *)
+  | Failed of { exn : string; backtrace : string }
+      (** the job raised; the exception is rendered to strings so
+          outcomes cross domains safely *)
+
+(** Outcome of one job: the value, or the captured exception. *)
+
+type 'a result = {
+  value : 'a outcome;
+  worker : int;  (** index of the domain that ran the job *)
+  duration_s : float;  (** wall-clock seconds the job took *)
+}
+(** One job's outcome plus its scheduling facts (which never influence
+    the value — see the determinism contract in [Engine]). *)
+
+val run_all :
+  ?on_done:(int -> 'a result -> unit) -> t -> n:int -> f:(int -> 'a) -> 'a result array
+(** [run_all t ~n ~f] runs [f 0 .. f (n-1)] on the pool and blocks until
+    all have finished.  Results come back indexed by job — scheduling
+    order never leaks into the result array.  [on_done i r] (if given)
+    fires on the worker as each job completes, concurrently with other
+    jobs; it must be thread-safe.
+
+    @raise Invalid_argument if [n < 0]. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, drain the queue, join every worker.
+    Idempotent. *)

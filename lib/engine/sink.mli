@@ -1,0 +1,52 @@
+(** Thread-safe results sink: one JSONL record per completed trial plus
+    a live completed/total progress line on stderr.
+
+    Workers call {!record} concurrently as trials finish; a mutex orders
+    the writes so every record lands on its own line.  Record order is
+    completion order (scheduling-dependent); consumers that need the
+    deterministic order sort by (config, profile, seed_index).  The JSON
+    is emitted by hand — records are flat and the repo takes no JSON
+    dependency.
+
+    Record shape (one line each):
+    {v
+{"config":"...","profile":"...","seed":N,"seed_index":N,
+ "worker":N,"duration_s":S,"outcome":"ok|oom|error","metrics":{...}}
+    v}
+    The [metrics] object carries the full metrics snapshot of the trial
+    (see [Holes.Metrics.to_fields]) — every counter and histogram
+    summary, not a verbosity-dependent subset. *)
+
+type t
+(** A sink.  Create with {!create}, feed with {!record}, finish with
+    {!close}. *)
+
+val create : ?path:string -> ?progress:bool -> unit -> t
+(** [create ?path ?progress ()] opens [path] for JSONL output (no file
+    is written when [path] is omitted) and enables the stderr progress
+    line unless [progress] is [false]. *)
+
+val plan : t -> int -> unit
+(** Announce [n] more jobs (a newly planned grid), growing the progress
+    denominator.  Thread-safe. *)
+
+val completed : t -> int
+(** Number of trials recorded so far.  Thread-safe. *)
+
+val record :
+  t ->
+  config:string ->
+  profile:string ->
+  seed:int ->
+  seed_index:int ->
+  worker:int ->
+  duration_s:float ->
+  outcome:string ->
+  metrics:(string * float) list ->
+  unit
+(** Record one finished trial as a single JSONL line and bump the
+    progress counters.  Thread-safe; called from worker domains.
+    Non-finite metric values are emitted as JSON [null]. *)
+
+val close : t -> unit
+(** Finish the progress line and close the JSONL channel. *)

@@ -16,6 +16,8 @@ open Holes_stdx
 module Engine = Holes_engine.Engine
 module Job = Holes_engine.Job
 module Sink = Holes_engine.Sink
+module Otrace = Holes_obs.Trace
+module Ostats = Holes_obs.Stats
 
 type params = {
   scale : float;  (** workload volume scale (1.0 = full) *)
@@ -47,6 +49,11 @@ type outcome = {
   mean_reverse_translations : float;
   mean_swap_ins : float;
   mean_fbuf_peak : float;  (** peak failure-buffer occupancy *)
+  mean_device_reads : float;
+  mean_os_page_copies : float;  (** failure-unaware fallback resolutions *)
+  mean_os_data_restores : float;  (** clustering re-backed the failing line *)
+  mean_fbuf_stalls : float;  (** device stall events per trial *)
+  pause_hist : Ostats.hist;  (** full-GC pauses (ns) pooled over completed trials *)
 }
 
 (* memo table: one entry per (config, profile, params), shared across
@@ -71,6 +78,16 @@ let sink : Sink.t option ref = ref None
 let set_sink (s : Sink.t option) : unit = sink := s
 let current_sink () : Sink.t option = !sink
 
+(* trace buffer: when set ([--trace FILE]), every executed trial runs
+   under a tracer view whose pid is derived from the job spec — like the
+   seed, scheduling-independent — so the merged trace is identical for
+   any [-j].  Timestamps come from each trial's cost model (virtual
+   nanoseconds), not the host clock. *)
+let tracer : Otrace.t option ref = ref None
+
+let set_tracer (t : Otrace.t option) : unit = tracer := t
+let current_tracer () : Otrace.t option = !tracer
+
 let cache_key (cfg : Holes.Config.t) (profile : Holes_workload.Profile.t) (p : params) : string =
   Printf.sprintf "%s|h%.3f|d%b|n%b|%s|s%.4f|n%d|seed%d" (Holes.Config.name cfg)
     cfg.Holes.Config.heap_factor cfg.Holes.Config.defrag cfg.Holes.Config.nursery_copy
@@ -84,11 +101,13 @@ type raw_trial = {
   r_perfect_requests : int;
 }
 
-let run_trial ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile.t) ~(scale : float)
-    ~(seed : int) : raw_trial =
+let run_trial ?(tracer = Otrace.null) ~(cfg : Holes.Config.t)
+    ~(profile : Holes_workload.Profile.t) ~(scale : float) ~(seed : int) () : raw_trial =
   let cfg = { cfg with Holes.Config.seed } in
   let profile = Holes_workload.Profile.scaled profile scale in
-  let vm = Holes.Vm.create ~cfg ~min_heap_bytes:(Holes_workload.Profile.min_heap profile) () in
+  let vm =
+    Holes.Vm.create ~cfg ~tracer ~min_heap_bytes:(Holes_workload.Profile.min_heap profile) ()
+  in
   let rng = Xrng.of_seed (seed lxor 0x5eed) in
   let res = Holes_workload.Generator.run ~rng vm profile in
   let acct = Holes_heap.Page_stock.accounting (Holes.Vm.stock vm) in
@@ -100,29 +119,32 @@ let run_trial ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile.t) ~(sc
     r_perfect_requests = Holes_osal.Accounting.perfect_requests acct;
   }
 
-(* the engine job body: spec → raw trial, seeded from the spec *)
+(* the engine job body: spec → raw trial, seeded from the spec.  Under a
+   tracer each trial is one trace "process": pid from the spec hash, a
+   [trial] span on the engine lane bracketing the whole run. *)
 let trial_of_spec (spec : Job.spec) ~(seed : int) : raw_trial =
-  run_trial ~cfg:spec.Job.cfg ~profile:spec.Job.profile ~scale:spec.Job.scale ~seed
+  let run tracer =
+    run_trial ~tracer ~cfg:spec.Job.cfg ~profile:spec.Job.profile ~scale:spec.Job.scale ~seed ()
+  in
+  match !tracer with
+  | None -> run Otrace.null
+  | Some tr ->
+      let v = Otrace.view tr ~pid:(1 + (Job.seed spec land 0x3FFFFFFF)) in
+      Otrace.name_process v (Job.label spec);
+      Otrace.begin_span v ~tid:Otrace.tid_engine "trial";
+      let r = run v in
+      Otrace.end_span v ~tid:Otrace.tid_engine "trial" ~args:[ ("time_ms", r.r_time) ];
+      r
 
-(* JSONL payload of one trial *)
+(* JSONL payload of one trial: the *complete* metrics snapshot — every
+   counter plus the pause/search/occupancy histogram summaries — not the
+   hand-picked subset the records used to carry.  Downstream analysis
+   should never need a rerun with different verbosity. *)
 let sink_metrics (t : raw_trial) : (string * float) list =
-  let m = t.r_metrics in
-  let f = float_of_int in
-  [
-    ("time_ms", t.r_time);
-    ("full_gcs", f m.Holes.Metrics.full_gcs);
-    ("nursery_gcs", f m.Holes.Metrics.nursery_gcs);
-    ("borrowed", f t.r_borrowed);
-    ("perfect_requests", f t.r_perfect_requests);
-    ("hole_skips", f m.Holes.Metrics.hole_skips);
-    ("bytes_copied", f m.Holes.Metrics.bytes_copied);
-    ("device_writes", f m.Holes.Metrics.device_writes);
-    ("device_line_failures", f m.Holes.Metrics.device_line_failures);
-    ("os_upcalls", f m.Holes.Metrics.os_upcalls);
-    ("reverse_translations", f m.Holes.Metrics.reverse_translations);
-    ("swap_ins", f m.Holes.Metrics.swap_ins);
-    ("fbuf_peak", f m.Holes.Metrics.fbuf_peak_occupancy);
-  ]
+  ("time_ms", t.r_time)
+  :: ("borrowed", float_of_int t.r_borrowed)
+  :: ("perfect_requests", float_of_int t.r_perfect_requests)
+  :: Holes.Metrics.to_fields t.r_metrics
 
 let sink_outcome (t : raw_trial) : string = if t.r_completed then "ok" else "oom"
 
@@ -163,6 +185,15 @@ let outcome_of_trials ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile
     mean_swap_ins = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.swap_ins);
     mean_fbuf_peak =
       meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.fbuf_peak_occupancy);
+    mean_device_reads = meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.device_reads);
+    mean_os_page_copies =
+      meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.os_page_copies);
+    mean_os_data_restores =
+      meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.os_data_restores);
+    mean_fbuf_stalls =
+      meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.fbuf_stall_events);
+    pause_hist =
+      Ostats.merged (List.map (fun t -> t.r_metrics.Holes.Metrics.pause_hist) done_);
   }
 
 (* run a planned spec array through the engine and fold each contiguous

@@ -1,0 +1,92 @@
+(** Cheap counters and log{_2}-bucket histograms.
+
+    The observability layer needs distribution summaries (pause times,
+    lines examined per hole search, failure-buffer occupancy) that are
+    deterministic, mergeable across trials, and cheap enough to update on
+    allocator hot paths.  A histogram here is 64 power-of-two buckets
+    plus exact count/sum/min/max: [observe] is a handful of arithmetic
+    operations and one array increment, with no allocation.
+
+    Histograms are plain mutable records (no closures), so structural
+    equality — used by the engine's [-j 1] = [-j N] determinism tests —
+    works on any record embedding them. *)
+
+(** {1 Counters} *)
+
+(** A mutable event counter. *)
+type counter
+
+val counter : unit -> counter
+(** A fresh counter at zero. *)
+
+val incr : counter -> unit
+(** Add one. *)
+
+val add : counter -> int -> unit
+(** Add [k]. *)
+
+val value : counter -> int
+(** Current count. *)
+
+(** {1 Histograms} *)
+
+val nbuckets : int
+(** Number of buckets (64). *)
+
+(** A log{_2}-bucket histogram.  Bucket [b] counts observations in
+    [\[2{^b-1}, 2{^b})]; bucket 0 holds everything below 1 (including
+    zero and negatives).  The fields are exposed so consumers can fold
+    histograms into structurally comparable records. *)
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;  (** [infinity] while empty *)
+  mutable max_v : float;  (** [neg_infinity] while empty *)
+  buckets : int array;
+}
+
+val hist : unit -> hist
+(** A fresh, empty histogram. *)
+
+val bucket_of : float -> int
+(** The bucket index a value falls into. *)
+
+val observe : hist -> float -> unit
+(** Record one observation.  O(1), allocation-free. *)
+
+val count : hist -> int
+(** Number of observations. *)
+
+val total : hist -> float
+(** Sum of all observations. *)
+
+val mean : hist -> float
+(** Mean observation (0 when empty). *)
+
+val min_value : hist -> float
+(** Smallest observation (0 when empty). *)
+
+val max_value : hist -> float
+(** Largest observation (0 when empty). *)
+
+val quantile : hist -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([q] clamped to [\[0,1\]])
+    as the upper bound of the bucket holding the [q]-th observation,
+    clamped to the observed [min]/[max].  Precision is one power of two
+    — adequate for pause-time p50/p99 reporting. *)
+
+val merge : hist -> hist -> unit
+(** [merge into src] folds [src]'s observations into [into]. *)
+
+val merged : hist list -> hist
+(** A fresh histogram holding the union of the inputs. *)
+
+val copy : hist -> hist
+(** An independent copy. *)
+
+val to_fields : prefix:string -> hist -> (string * float) list
+(** Flat key/value summary ([_count], [_mean], [_p50], [_p99], [_max]),
+    ready for the engine's JSONL sink. *)
+
+val summary_string : hist -> string
+(** One-line human-readable summary. *)

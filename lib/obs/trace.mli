@@ -1,0 +1,139 @@
+(** Ring-buffered structured tracing for the device→OS→runtime pipeline,
+    emitted as Chrome [trace_event] JSON (loadable in Perfetto or
+    [chrome://tracing]).
+
+    One {!t} collects events from every trial of a run; each trial holds
+    a {!view} carrying its synthetic process id and a {e virtual} clock —
+    the simulator's deterministic cost model, not wall time — so traces
+    are bit-identical at any [-j].  Each simulated layer gets a synthetic
+    thread lane per trial: {!tid_engine} (job lifecycle), {!tid_gc}
+    (collection phases), {!tid_alloc} (allocation slow paths),
+    {!tid_osal} (interrupt servicing, VMM calls) and {!tid_pcm} (device
+    wear-outs, failure-buffer traffic).
+
+    {b Overhead guarantee}: every emission point branches on
+    {!armed}/the disabled flag first and the disabled path touches
+    neither the cost model nor the metrics, so a run without tracing is
+    bit-identical to a run that never linked this module (asserted by
+    [test/test_obs.ml]).
+
+    {b Determinism}: events carry a per-(pid, tid) sequence number
+    assigned at emission.  A trial's events are produced by exactly one
+    worker domain in program order, so sorting by (pid, tid, seq) — done
+    by {!events} and {!write} — yields identical output regardless of
+    how trials interleaved.  Only ring {e overflow} is
+    scheduling-sensitive; {!dropped} reports it. *)
+
+(** {1 Layer thread ids}
+
+    The repository-wide lane convention; {!view} pre-registers these
+    names so every trace opens with labeled lanes. *)
+
+val tid_engine : int
+(** Engine job lifecycle (one [trial] span per job). *)
+
+val tid_gc : int
+(** Collector phases: [full_gc]/[mark]/[sweep]/[defrag], [nursery_gc],
+    dynamic failures, line retirements. *)
+
+val tid_alloc : int
+(** Allocation slow paths: hole skips, overflow searches, perfect-block
+    fallbacks. *)
+
+val tid_osal : int
+(** OS layer: [irq_service] spans, up-calls, page copies, VMM calls. *)
+
+val tid_pcm : int
+(** Device layer: wear-outs, failure-buffer fill/drain/occupancy. *)
+
+(** {1 Events} *)
+
+type phase = Begin | End | Instant | Counter
+
+val phase_string : phase -> string
+(** The Chrome [ph] letter: ["B"], ["E"], ["i"] or ["C"]. *)
+
+type event = {
+  pid : int;
+  tid : int;
+  seq : int;  (** per-(pid, tid) emission index — the scheduling-free sort key *)
+  ts : float;  (** virtual nanoseconds from the trial's cost model *)
+  ph : phase;
+  name : string;
+  args : (string * float) list;
+}
+
+(** {1 The collector} *)
+
+type t
+(** A shared, mutex-guarded event ring. *)
+
+val default_capacity : int
+(** Ring capacity when not overridden (2{^18} events). *)
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, enabled collector.  Once the ring fills, the oldest events
+    are overwritten ({!dropped} counts them). *)
+
+val enabled : t -> bool
+
+val dropped : t -> int
+(** Events lost to ring overwrite so far. *)
+
+(** {1 Per-trial views} *)
+
+type view
+(** A trial's handle: the collector, the trial's synthetic process id
+    and its virtual clock. *)
+
+val null : view
+(** The inert view: every operation is a single branch and a return.
+    Used as the default wherever a tracer parameter is optional. *)
+
+val view : t -> pid:int -> view
+(** A view for process lane [pid], with the standard layer thread names
+    pre-registered and a zero clock (see {!set_clock}). *)
+
+val armed : view -> bool
+(** Whether emissions through this view are recorded.  Instrumentation
+    sites with non-trivial argument preparation should branch on this. *)
+
+val set_clock : view -> (unit -> float) -> unit
+(** Install the virtual-time source (nanoseconds).  The VM points this
+    at its cost accumulator at creation. *)
+
+val name_process : view -> string -> unit
+(** Label the view's process lane (e.g. the engine job label). *)
+
+val name_thread : view -> tid:int -> string -> unit
+(** Override a thread-lane label. *)
+
+(** {1 Emission} *)
+
+val begin_span : view -> tid:int -> ?args:(string * float) list -> string -> unit
+val end_span : view -> tid:int -> ?args:(string * float) list -> string -> unit
+
+val with_span : view -> tid:int -> ?args:(string * float) list -> string -> (unit -> 'a) -> 'a
+(** [with_span v ~tid name f] brackets [f] in a [B]/[E] pair; when the
+    view is disarmed it is exactly [f ()]. *)
+
+val instant : view -> tid:int -> ?args:(string * float) list -> string -> unit
+(** A point event ([ph:"i"]). *)
+
+val counter : view -> tid:int -> string -> (string * float) list -> unit
+(** A counter sample ([ph:"C"]), rendered as a stacked chart lane. *)
+
+(** {1 Output} *)
+
+val events : t -> event list
+(** The ring's events, sorted by (pid, tid, seq) and repaired to strict
+    stack discipline: [End]s whose [Begin] was overwritten are dropped,
+    unfinished spans are closed at their lane's last timestamp.  This is
+    exactly the event sequence {!write} serializes. *)
+
+val render : t -> string
+(** The Chrome [trace_event] JSON array: [process_name]/[thread_name]
+    metadata first, then {!events}. *)
+
+val write : t -> string -> unit
+(** [write t path] saves {!render} to [path]. *)

@@ -14,6 +14,7 @@
     perfect page and remapping (failure-unaware fallback). *)
 
 module Pcm = Holes_pcm
+module Trace = Holes_obs.Trace
 
 type resolution =
   | Upcalled of int  (** pid whose runtime handler relocated the data *)
@@ -32,12 +33,14 @@ type t = {
   mutable page_copies : int;
   mutable upcalls : int;
   mutable restores : int;
+  tracer : Trace.view;  (** osal-lane events: service spans, resolutions *)
 }
 
 (** Attach an interrupt handler to [device].  [dram_pages] is the number
     of DRAM physical ids preceding the PCM pages in the VMM's physical
     namespace (device page 0 is VMM physical page [dram_pages]). *)
-let attach ~(vmm : Vmm.t) ~(device : Pcm.Device.t) ~(dram_pages : int) : t =
+let attach ?(tracer = Trace.null) ~(vmm : Vmm.t) ~(device : Pcm.Device.t) ~(dram_pages : int) ()
+    : t =
   let t =
     {
       vmm;
@@ -48,6 +51,7 @@ let attach ~(vmm : Vmm.t) ~(device : Pcm.Device.t) ~(dram_pages : int) : t =
       page_copies = 0;
       upcalls = 0;
       restores = 0;
+      tracer;
     }
   in
   Pcm.Device.on_line_failed device (fun ~addr ~unusable ->
@@ -87,6 +91,9 @@ let copy_to_perfect (t : t) ~(pid : int) ~(virt : int) ~(device_page : int) : re
       Vmm.remap t.vmm p ~virt ~new_phys;
       Vmm.record_swap t.vmm;
       t.page_copies <- t.page_copies + 1;
+      if Trace.armed t.tracer then
+        Trace.instant t.tracer ~tid:Trace.tid_osal "os_page_copy"
+          ~args:[ ("old_phys", float_of_int old_phys); ("new_phys", float_of_int new_phys) ];
       Some (Page_copied { pid; old_phys; new_phys })
 
 (* Resolve one newly unusable logical line. *)
@@ -111,6 +118,9 @@ let resolve_line (t : t) ~(line : int) ~(data : Bytes.t option) : resolution =
       let p = Option.get (Vmm.find_process t.vmm pid) in
       match p.Vmm.failure_handler with
       | Some handler ->
+          if Trace.armed t.tracer then
+            Trace.instant t.tracer ~tid:Trace.tid_osal "os_upcall"
+              ~args:[ ("line", float_of_int line); ("virt", float_of_int virt) ];
           handler ~virt_page:virt ~line:line_in_page ~data;
           Vmm.set_protection p ~virt Vmm.Read_write;
           t.upcalls <- t.upcalls + 1;
@@ -141,6 +151,9 @@ let service (t : t) : resolution list =
           | Some d -> ignore (Pcm.Device.write t.device addr d)
           | None -> ());
           t.restores <- t.restores + 1;
+          if Trace.armed t.tracer then
+            Trace.instant t.tracer ~tid:Trace.tid_osal "os_data_restore"
+              ~args:[ ("line", float_of_int addr) ];
           results := Data_restored addr :: !results
         end;
         List.iter
@@ -152,7 +165,10 @@ let service (t : t) : resolution list =
         t.resolutions <- List.rev_append results t.resolutions;
         drain (List.rev_append results acc)
   in
-  drain []
+  if t.queue = [] then []
+  else if Trace.armed t.tracer then
+    Trace.with_span t.tracer ~tid:Trace.tid_osal "irq_service" (fun () -> drain [])
+  else drain []
 
 let upcalls (t : t) : int = t.upcalls
 

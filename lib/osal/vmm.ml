@@ -8,6 +8,7 @@
     interrupt handler can revoke access to failing pages. *)
 
 open Holes_stdx
+module Trace = Holes_obs.Trace
 
 type prot = No_access | Read_write
 
@@ -34,9 +35,10 @@ type t = {
   reverse : (int, int * int) Hashtbl.t;  (** physical page -> (pid, virtual page) *)
   mutable reverse_translations : int;  (** statistic: the expensive lookups *)
   mutable swap_ins : int;  (** pages moved to a new frame via the swap path *)
+  tracer : Trace.view;  (** osal-lane events: map_failures, remaps, swaps *)
 }
 
-let create ~(dram_pages : int) ~(pcm_pages : int) : t =
+let create ?(tracer = Trace.null) ~(dram_pages : int) ~(pcm_pages : int) () : t =
   {
     pools = Pools.create ~dram_pages ~pcm_pages;
     table = Failure_table.create ~pcm_pages;
@@ -46,6 +48,7 @@ let create ~(dram_pages : int) ~(pcm_pages : int) : t =
     reverse = Hashtbl.create 256;
     reverse_translations = 0;
     swap_ins = 0;
+    tracer;
   }
 
 let pools (t : t) : Pools.t = t.pools
@@ -101,6 +104,9 @@ let mmap (t : t) (p : process) ~(pages : int) : (int list, [ `Out_of_memory ]) r
     (possibly) imperfect PCM.  "This call returns the number of pages
     requested, however not all of the allocated memory may be usable." *)
 let mmap_imperfect (t : t) (p : process) ~(pages : int) : (int list, [ `Out_of_memory ]) result =
+  if Trace.armed t.tracer then
+    Trace.instant t.tracer ~tid:Trace.tid_osal "mmap_imperfect"
+      ~args:[ ("pages", float_of_int pages) ];
   let rec go n acc =
     if n = 0 then Ok (List.rev acc)
     else
@@ -120,6 +126,9 @@ let mmap_imperfect (t : t) (p : process) ~(pages : int) : (int list, [ `Out_of_m
 (** [map_failures t p ~virt] returns the failure bitmap of the physical
     page backing virtual page [virt] (all-clear for DRAM). *)
 let map_failures (t : t) (p : process) ~(virt : int) : Bitset.t =
+  if Trace.armed t.tracer then
+    Trace.instant t.tracer ~tid:Trace.tid_osal "map_failures"
+      ~args:[ ("virt", float_of_int virt) ];
   match Hashtbl.find_opt p.page_table virt with
   | None -> invalid_arg "Vmm.map_failures: unmapped virtual page"
   | Some m ->
@@ -133,12 +142,17 @@ let translate (p : process) ~(virt : int) : int option =
     expensive, but dynamic failures are very rare" (Sec. 3.2.2). *)
 let reverse_translate (t : t) ~(phys : int) : (int * int) option =
   t.reverse_translations <- t.reverse_translations + 1;
+  if Trace.armed t.tracer then
+    Trace.instant t.tracer ~tid:Trace.tid_osal "reverse_translate"
+      ~args:[ ("phys", float_of_int phys) ];
   Hashtbl.find_opt t.reverse phys
 
 let reverse_translations (t : t) : int = t.reverse_translations
 
 (** Account one page swapped into a new physical frame (Sec. 3.2.3). *)
-let record_swap (t : t) : unit = t.swap_ins <- t.swap_ins + 1
+let record_swap (t : t) : unit =
+  t.swap_ins <- t.swap_ins + 1;
+  if Trace.armed t.tracer then Trace.instant t.tracer ~tid:Trace.tid_osal "swap_in"
 
 let swap_ins (t : t) : int = t.swap_ins
 

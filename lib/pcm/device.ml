@@ -9,6 +9,7 @@
     and OS copy-out paths are real, not mocked. *)
 
 open Holes_stdx
+module Trace = Holes_obs.Trace
 
 type config = {
   pages : int;
@@ -44,9 +45,10 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable failures : int;
+  tracer : Trace.view;  (** pcm-lane events: wear-outs, buffer traffic *)
 }
 
-let create ?(config = default_config) ~(seed : int) () : t =
+let create ?(config = default_config) ?(tracer = Trace.null) ~(seed : int) () : t =
   let nlines = config.pages * Geometry.lines_per_page in
   let rng = Xrng.of_seed seed in
   let lines = Array.init nlines (fun _ -> Wear.fresh_line rng config.wear) in
@@ -75,6 +77,7 @@ let create ?(config = default_config) ~(seed : int) () : t =
     reads = 0;
     writes = 0;
     failures = 0;
+    tracer;
   }
 
 let nlines (t : t) : int = t.nlines
@@ -167,8 +170,17 @@ let write (t : t) (logical : int) (payload : Bytes.t) : write_result =
         Stored
     | Wear.Failed ->
         t.failures <- t.failures + 1;
+        if Trace.armed t.tracer then
+          Trace.instant t.tracer ~tid:Trace.tid_pcm "wear_out"
+            ~args:[ ("line", float_of_int logical) ];
         let inserted = Failure_buffer.insert t.buffer ~addr:logical ~data:payload in
         if not inserted then failwith "Device.write: failure buffer overflow (model error)";
+        if Trace.armed t.tracer then begin
+          Trace.counter t.tracer ~tid:Trace.tid_pcm "fbuf"
+            [ ("occupancy", float_of_int (Failure_buffer.occupancy t.buffer)) ];
+          if Failure_buffer.is_stalled t.buffer then
+            Trace.instant t.tracer ~tid:Trace.tid_pcm "fbuf_stall"
+        end;
         let newly_unusable =
           if Array.length t.regions = 0 then begin
             Bitset.set t.failed_unclustered logical;
@@ -194,6 +206,12 @@ let drain_failure (t : t) (logical : int) : Bytes.t option =
   | None -> None
   | Some data ->
       ignore (Failure_buffer.clear t.buffer ~addr:logical);
+      if Trace.armed t.tracer then begin
+        Trace.instant t.tracer ~tid:Trace.tid_pcm "fbuf_drain"
+          ~args:[ ("line", float_of_int logical) ];
+        Trace.counter t.tracer ~tid:Trace.tid_pcm "fbuf"
+          [ ("occupancy", float_of_int (Failure_buffer.occupancy t.buffer)) ]
+      end;
       Some data
 
 (** Logical indices of all currently unusable lines. *)

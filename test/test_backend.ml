@@ -130,7 +130,7 @@ let test_clustering_boundary_in_map_failures () =
   check Alcotest.bool "not at the physical position" true (not (List.mem mid unusable));
   (* OS boot scan + mapping: the process-visible bitmap agrees *)
   let dram = 2 in
-  let vmm = Osal.Vmm.create ~dram_pages:dram ~pcm_pages:4 in
+  let vmm = Osal.Vmm.create ~dram_pages:dram ~pcm_pages:4 () in
   List.iter
     (fun l ->
       Osal.Failure_table.mark_failed (Osal.Vmm.failure_table vmm) ~page:(l / lpp)

@@ -33,8 +33,8 @@ let test_aged_device_feeds_runtime () =
         }
       ~seed:3 ()
   in
-  let vmm = Osal.Vmm.create ~dram_pages:2 ~pcm_pages:pages in
-  let handler = Osal.Interrupts.attach ~vmm ~device ~dram_pages:2 in
+  let vmm = Osal.Vmm.create ~dram_pages:2 ~pcm_pages:pages () in
+  let handler = Osal.Interrupts.attach ~vmm ~device ~dram_pages:2 () in
   let rng = Xrng.of_seed 17 in
   let zipf = Holes_stdx.Dist.zipf_sampler ~n:(Pcm.Device.nlines device) ~s:0.9 in
   let payload = Bytes.make Pcm.Geometry.line_bytes 'w' in

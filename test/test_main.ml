@@ -14,6 +14,7 @@ let () =
       ("workload", Test_workload.suite);
       ("exp", Test_exp.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);
       ("backend", Test_backend.suite);
     ]

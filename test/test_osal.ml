@@ -126,7 +126,7 @@ let test_accounting_loan_closed () =
 (* ------------------------- VMM ------------------------- *)
 
 let test_vmm_mmap () =
-  let vmm = Vmm.create ~dram_pages:2 ~pcm_pages:4 in
+  let vmm = Vmm.create ~dram_pages:2 ~pcm_pages:4 () in
   let p = Vmm.spawn vmm in
   match Vmm.mmap vmm p ~pages:3 with
   | Error `Out_of_memory -> Alcotest.fail "should fit"
@@ -139,7 +139,7 @@ let test_vmm_mmap () =
         virts
 
 let test_vmm_mmap_oom_rolls_back () =
-  let vmm = Vmm.create ~dram_pages:1 ~pcm_pages:1 in
+  let vmm = Vmm.create ~dram_pages:1 ~pcm_pages:1 () in
   let p = Vmm.spawn vmm in
   (match Vmm.mmap vmm p ~pages:5 with
   | Error `Out_of_memory -> ()
@@ -150,7 +150,7 @@ let test_vmm_mmap_oom_rolls_back () =
   | Error _ -> Alcotest.fail "rollback leaked pages"
 
 let test_vmm_mmap_imperfect_and_failures () =
-  let vmm = Vmm.create ~dram_pages:0 ~pcm_pages:2 in
+  let vmm = Vmm.create ~dram_pages:0 ~pcm_pages:2 () in
   (* page 1 (device page 1) is imperfect *)
   Failure_table.mark_failed (Vmm.failure_table vmm) ~page:1 ~line:4;
   ignore (Pools.mark_line_failed (Vmm.pools vmm) ~page:1 ~line:4);
@@ -161,7 +161,7 @@ let test_vmm_mmap_imperfect_and_failures () =
   check (Alcotest.list Alcotest.int) "one perfect, one imperfect" [ 0; 1 ] counts
 
 let test_vmm_reverse_translate () =
-  let vmm = Vmm.create ~dram_pages:0 ~pcm_pages:2 in
+  let vmm = Vmm.create ~dram_pages:0 ~pcm_pages:2 () in
   let p = Vmm.spawn vmm in
   let v = List.hd (Result.get_ok (Vmm.mmap vmm p ~pages:1)) in
   let phys = Option.get (Vmm.translate p ~virt:v) in
@@ -173,7 +173,7 @@ let test_vmm_reverse_translate () =
   Alcotest.(check bool) "counted" true (Vmm.reverse_translations vmm > 0)
 
 let test_vmm_munmap () =
-  let vmm = Vmm.create ~dram_pages:0 ~pcm_pages:1 in
+  let vmm = Vmm.create ~dram_pages:0 ~pcm_pages:1 () in
   let p = Vmm.spawn vmm in
   let v = List.hd (Result.get_ok (Vmm.mmap vmm p ~pages:1)) in
   Vmm.munmap vmm p ~virt:v;
@@ -199,9 +199,9 @@ let hammer_until_failure device line =
   go 0
 
 let test_interrupt_upcall () =
-  let vmm = Vmm.create ~dram_pages:2 ~pcm_pages:4 in
+  let vmm = Vmm.create ~dram_pages:2 ~pcm_pages:4 () in
   let device = make_failing_device () in
-  let h = Interrupts.attach ~vmm ~device ~dram_pages:2 in
+  let h = Interrupts.attach ~vmm ~device ~dram_pages:2 () in
   let p = Vmm.spawn vmm in
   ignore (Result.get_ok (Vmm.mmap_imperfect vmm p ~pages:4));
   let upcalls = ref [] in
@@ -225,9 +225,9 @@ let test_interrupt_upcall () =
     (Failure_table.total_failed_lines (Vmm.failure_table vmm))
 
 let test_interrupt_page_copy_fallback () =
-  let vmm = Vmm.create ~dram_pages:2 ~pcm_pages:8 in
+  let vmm = Vmm.create ~dram_pages:2 ~pcm_pages:8 () in
   let device = make_failing_device () in
-  let h = Interrupts.attach ~vmm ~device ~dram_pages:2 in
+  let h = Interrupts.attach ~vmm ~device ~dram_pages:2 () in
   let p = Vmm.spawn vmm in
   (* failure-unaware process: no handler registered; map pages 0..3 *)
   let virts = Result.get_ok (Vmm.mmap_imperfect vmm p ~pages:4) in

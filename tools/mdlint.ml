@@ -1,0 +1,164 @@
+(* mdlint: a dependency-free markdown link-and-anchor checker.
+
+   Usage: mdlint FILE.md ...
+
+   For every inline link [text](target) outside fenced code blocks:
+   - external targets (http/https/mailto) are ignored;
+   - a relative path must exist on disk (resolved against the file's
+     own directory);
+   - a #fragment (bare, or on a .md path) must match a heading slug of
+     the target file, using GitHub's slugging rules (lowercase, drop
+     punctuation, spaces to hyphens, -N suffixes for duplicates).
+
+   Exits 1 after printing every dead link, 0 when all links resolve. *)
+
+let errors = ref 0
+
+let err (file : string) (line : int) (msg : string) : unit =
+  incr errors;
+  Printf.eprintf "%s:%d: %s\n" file line msg
+
+let read_lines (path : string) : string list =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+(* Drop fenced code blocks (``` toggles); keeps line numbers by
+   replacing fenced lines with "". *)
+let mask_fences (lines : string list) : string list =
+  let in_fence = ref false in
+  List.map
+    (fun line ->
+      let fence = String.length (String.trim line) >= 3 && String.sub (String.trim line) 0 3 = "```" in
+      if fence then begin
+        in_fence := not !in_fence;
+        ""
+      end
+      else if !in_fence then ""
+      else line)
+    lines
+
+(* GitHub heading slug: lowercase; keep alphanumerics, hyphens and
+   underscores; spaces become hyphens; everything else is dropped. *)
+let slug (heading : string) : string =
+  let b = Buffer.create (String.length heading) in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9' | '-' | '_') as c -> Buffer.add_char b c
+      | ' ' -> Buffer.add_char b '-'
+      | _ -> ())
+    (String.trim heading);
+  Buffer.contents b
+
+(* All heading slugs of a file, with GitHub's -1, -2 ... suffixes for
+   repeated headings. *)
+let slugs_of_file : string -> (string, unit) Hashtbl.t =
+  let cache : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  fun path ->
+    match Hashtbl.find_opt cache path with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 32 in
+        let counts = Hashtbl.create 32 in
+        List.iter
+          (fun line ->
+            let n = String.length line in
+            let rec hashes i = if i < n && line.[i] = '#' then hashes (i + 1) else i in
+            let h = hashes 0 in
+            if h > 0 && h <= 6 && h < n && line.[h] = ' ' then begin
+              let s = slug (String.sub line h (n - h)) in
+              let seen = Option.value ~default:0 (Hashtbl.find_opt counts s) in
+              Hashtbl.replace counts s (seen + 1);
+              Hashtbl.replace t (if seen = 0 then s else Printf.sprintf "%s-%d" s seen) ()
+            end)
+          (mask_fences (read_lines path));
+        Hashtbl.replace cache path t;
+        t
+
+(* Inline link targets of one line: every "](target)" occurrence, with
+   an optional "title" and surrounding <> stripped. *)
+let targets_of_line (line : string) : string list =
+  let n = String.length line in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if line.[!i] = ']' && line.[!i + 1] = '(' then begin
+      match String.index_from_opt line (!i + 2) ')' with
+      | None -> i := n
+      | Some close ->
+          let target = String.sub line (!i + 2) (close - !i - 2) in
+          let target =
+            match String.index_opt target ' ' with
+            | Some sp -> String.sub target 0 sp (* drop "title" *)
+            | None -> target
+          in
+          let target =
+            let l = String.length target in
+            if l >= 2 && target.[0] = '<' && target.[l - 1] = '>' then String.sub target 1 (l - 2)
+            else target
+          in
+          acc := target :: !acc;
+          i := close + 1
+    end
+    else incr i
+  done;
+  List.rev !acc
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let check_file (file : string) : unit =
+  let lines = mask_fences (read_lines file) in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      List.iter
+        (fun target ->
+          if
+            target = "" || starts_with "http://" target || starts_with "https://" target
+            || starts_with "mailto:" target
+          then ()
+          else
+            let path, frag =
+              match String.index_opt target '#' with
+              | Some h ->
+                  (String.sub target 0 h, String.sub target (h + 1) (String.length target - h - 1))
+              | None -> (target, "")
+            in
+            let resolved =
+              if path = "" then file else Filename.concat (Filename.dirname file) path
+            in
+            if not (Sys.file_exists resolved) then
+              err file lineno (Printf.sprintf "dead link: %s (no such file %s)" target resolved)
+            else if frag <> "" && Filename.check_suffix resolved ".md" then begin
+              if not (Hashtbl.mem (slugs_of_file resolved) frag) then
+                err file lineno
+                  (Printf.sprintf "dead anchor: %s (no heading #%s in %s)" target frag resolved)
+            end)
+        (targets_of_line line))
+    lines
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: mdlint FILE.md ...";
+    exit 2
+  end;
+  List.iter
+    (fun f ->
+      if Sys.file_exists f then check_file f
+      else err f 0 "file does not exist")
+    files;
+  if !errors > 0 then begin
+    Printf.eprintf "mdlint: %d dead link%s\n" !errors (if !errors = 1 then "" else "s");
+    exit 1
+  end
+  else Printf.printf "mdlint: %d file%s clean\n" (List.length files)
+         (if List.length files = 1 then "" else "s")
