@@ -3,7 +3,7 @@
 # ocamlformat is available (the check is skipped, not failed, on
 # machines without it).
 
-.PHONY: all build test check fmt doc lint-md bench figures-quick speedup quickstart clean
+.PHONY: all build test check fmt doc lint-md bench micro figures-quick speedup quickstart clean
 
 MD_FILES := README.md DESIGN.md EXPERIMENTS.md CHANGES.md ROADMAP.md
 
@@ -38,8 +38,14 @@ lint-md:
 
 check: build test lint-md fmt
 
+# Hot-path microbenchmarks (DESIGN.md §9): rewrites BENCH_hotpath.json,
+# preserving its before/after baseline fields when present.
 bench:
-	dune exec bench/main.exe
+	dune exec bench/microbench.exe -- --before BENCH_hotpath.json --out BENCH_hotpath.json
+
+# Operf-micro style latency table over the allocator entry points.
+micro:
+	dune exec bench/main.exe -- micro
 
 # Reduced figure grid on 2 worker domains, streaming one JSONL record
 # per trial plus a Chrome trace of every trial: the CI perf-trajectory

@@ -1,0 +1,341 @@
+(* Hot-path microbenchmarks with a tracked JSON baseline.
+
+   Times the four kernels that dominate trial throughput (hole search,
+   small allocation under failures, full collection, device writes) plus
+   the wall-clock of the reduced `figures-quick` grid, and writes the
+   results as `BENCH_hotpath.json`.  The committed copy of that file is
+   the perf baseline: CI reruns the kernels and fails when any of them
+   regresses by more than the tolerance.
+
+   Usage:
+     microbench.exe [--out FILE]        run kernels + grid, write JSON
+                                        (default BENCH_hotpath.json)
+     microbench.exe --no-grid           skip the grid wall-clock
+     microbench.exe --before FILE       embed FILE's ns_per_op values as
+                                        before_ns (before/after record)
+     microbench.exe --check FILE        rerun kernels and compare against
+                                        FILE's ns_per_op; exit 1 when any
+                                        kernel is slower by more than
+                                        --tolerance (default 0.25)
+
+   All numbers are host wall-clock (best of several repetitions), unlike
+   the virtual cost-model times in the figures: this file measures the
+   simulator itself, not the simulated machine. *)
+
+let reps = 5
+
+(* best-of-[reps] wall-clock of [f], in ns per operation *)
+let time_ns_per_op ~(iters : int) (f : unit -> unit) : float =
+  f ();
+  (* warmup: fill caches, trigger any lazy setup *)
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best /. float_of_int iters *. 1e9
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* hole-search: walk every hole of fragmented 64 B-line blocks — the
+   line-map scan underneath every bump-cursor refill.  Four occupancy
+   regimes (heavy scatter, moderate scatter, clustered survivors, nearly
+   empty) crossed with small (2-line) and medium (8-line) requests, so
+   the kernel covers both the overhead-bound short searches of a churning
+   nursery and the long skips over dense blocks where the scan itself
+   dominates. *)
+let hole_search_kernel () : int * (unit -> unit) =
+  let line_size = 64 in
+  let lines_per_page = Holes_pcm.Geometry.lines_per_page in
+  let make_block fill =
+    let rng = Holes_stdx.Xrng.of_seed 42 in
+    let bitmaps =
+      Array.init Holes_heap.Units.pages_per_block (fun _ ->
+          let b = Holes_stdx.Bitset.create lines_per_page in
+          for i = 0 to lines_per_page - 1 do
+            if Holes_stdx.Xrng.float rng < 0.08 then Holes_stdx.Bitset.set b i
+          done;
+          b)
+    in
+    let blk =
+      Holes_heap.Block.create ~index:0 ~base:0 ~line_size
+        ~pages:(Array.init Holes_heap.Units.pages_per_block Fun.id)
+        ~page_bitmap:(fun id -> bitmaps.(id))
+    in
+    let nlines = blk.Holes_heap.Block.nlines in
+    for l = 0 to nlines - 1 do
+      if (not (Holes_heap.Block.is_failed_line blk l)) && fill rng l then
+        Holes_heap.Block.add_object_lines blk ~addr:(l * line_size) ~size:line_size
+    done;
+    blk
+  in
+  let blocks =
+    [|
+      (* heavy scatter: short-lived small objects everywhere *)
+      make_block (fun rng _ -> Holes_stdx.Xrng.float rng < 0.45);
+      (* moderate scatter *)
+      make_block (fun rng _ -> Holes_stdx.Xrng.float rng < 0.20);
+      (* clustered survivors: 16-line live stripes *)
+      make_block (fun rng l -> ignore (Holes_stdx.Xrng.float rng); l land 31 < 16);
+      (* nearly empty: holes bounded only by failed lines *)
+      make_block (fun rng _ -> Holes_stdx.Xrng.float rng < 0.02);
+    |]
+  in
+  let requests = [| 2 * line_size; 8 * line_size |] in
+  let walks = 400 in
+  let walk blk min_bytes =
+    let from = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let enc = Holes_heap.Block.find_hole_enc blk ~from_line:!from ~min_bytes in
+      if enc >= 0 then from := enc land 0x3FFFFFFF else continue_ := false
+    done
+  in
+  let nlines = blocks.(0).Holes_heap.Block.nlines in
+  ( walks * nlines * Array.length blocks * Array.length requests,
+    fun () ->
+      for _ = 1 to walks do
+        Array.iter (fun blk -> Array.iter (fun mb -> walk blk mb) requests) blocks
+      done )
+
+(* alloc: the end-to-end small-allocation path over a 25%-failed heap —
+   bump fast path, hole skips, recycled-block search, collections *)
+let alloc_kernel () : int * (unit -> unit) =
+  let cfg =
+    {
+      Holes.Config.default with
+      Holes.Config.failure_rate = 0.25;
+      failure_dist = Holes.Config.Uniform;
+    }
+  in
+  let iters = 4000 in
+  ( iters,
+    fun () ->
+      let vm = Holes.Vm.create ~cfg ~min_heap_bytes:(1 lsl 20) () in
+      for _ = 1 to iters do
+        let id = Holes.Vm.alloc vm ~size:48 () in
+        Holes.Vm.kill vm id
+      done )
+
+(* full-gc: trace + line-map rebuild + sweep over a half-dead heap *)
+let full_gc_kernel () : int * (unit -> unit) =
+  ( 1,
+    fun () ->
+      let vm = Holes.Vm.create ~cfg:Holes.Config.default ~min_heap_bytes:(1 lsl 20) () in
+      let ids = Array.init 3000 (fun _ -> Holes.Vm.alloc vm ~size:64 ()) in
+      Array.iteri (fun i id -> if i mod 2 = 0 then Holes.Vm.kill vm id) ids;
+      Holes.Vm.collect vm ~full:true )
+
+(* device-write: the payload-store write path (no wear-outs: endurance is
+   the production 1e8, so this isolates the arena from failure handling) *)
+let device_write_kernel () : int * (unit -> unit) =
+  let config =
+    { Holes_pcm.Device.default_config with Holes_pcm.Device.pages = 64; wear = Holes_pcm.Wear.default_params }
+  in
+  let dev = Holes_pcm.Device.create ~config ~seed:7 () in
+  let payload = Bytes.make Holes_pcm.Geometry.line_bytes 'w' in
+  let nlines = Holes_pcm.Device.nlines dev in
+  let passes = 8 in
+  ( passes * nlines,
+    fun () ->
+      for _ = 1 to passes do
+        for l = 0 to nlines - 1 do
+          ignore (Holes_pcm.Device.write dev l payload)
+        done
+      done )
+
+let kernels : (string * (unit -> int * (unit -> unit))) list =
+  [
+    ("hole_search", hole_search_kernel);
+    ("alloc_small", alloc_kernel);
+    ("full_gc", full_gc_kernel);
+    ("device_write", device_write_kernel);
+  ]
+
+let run_kernels () : (string * float) list =
+  List.map
+    (fun (name, mk) ->
+      let iters, f = mk () in
+      let ns = time_ns_per_op ~iters f in
+      Printf.printf "%-14s %12.1f ns/op\n%!" name ns;
+      (name, ns))
+    kernels
+
+(* the fixed reduced grid (`figures-quick`), timed cold at -j 1 *)
+let grid_wall_s () : float =
+  Holes_exp.Runner.clear_cache ();
+  let params = { Holes_exp.Runner.scale = 0.1; seeds = 2; jobs = 1 } in
+  let t0 = Unix.gettimeofday () in
+  ignore (Holes_exp.Figures.fig4 ~params ());
+  ignore (Holes_exp.Figures.headline ~params ());
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-14s %12.2f s (figures-quick grid, -j 1, cold cache)\n%!" "grid" dt;
+  dt
+
+(* ------------------------------------------------------------------ *)
+(* The JSON snapshot (hand-rolled, like lib/engine/sink.ml)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Scan [line] for `"key": <float>`; the emitter below writes one kernel
+   per line, so line-oriented scanning is a complete parser for it. *)
+let find_float ~(key : string) (line : string) : float option =
+  let pat = Printf.sprintf "\"%s\":" key in
+  match
+    let plen = String.length pat and llen = String.length line in
+    let rec at i =
+      if i + plen > llen then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else at (i + 1)
+    in
+    at 0
+  with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      let llen = String.length line in
+      while
+        !stop < llen
+        && (match line.[!stop] with '0' .. '9' | '.' | '-' | 'e' | '+' | ' ' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub line start (!stop - start)))
+
+let load_snapshot (path : string) : (string * (float * float option)) list =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       List.iter
+         (fun (name, _) ->
+           let pat = Printf.sprintf "\"%s\"" name in
+           let has =
+             let plen = String.length pat and llen = String.length line in
+             let rec at i =
+               i + plen <= llen && (String.sub line i plen = pat || at (i + 1))
+             in
+             at 0
+           in
+           if has then
+             match find_float ~key:"ns_per_op" line with
+             | Some ns -> entries := (name, (ns, find_float ~key:"before_ns" line)) :: !entries
+             | None -> ())
+         kernels
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+let write_snapshot ~(path : string) ~(before : (string * float) list)
+    ~(results : (string * float) list) ~(grid_s : float option)
+    ~(grid_before_s : float option) : unit =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"holes-microbench/1\",\n";
+  out "  \"note\": \"host wall-clock ns/op, best of %d; regenerate with `make bench`\",\n" reps;
+  out "  \"kernels\": {\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, ns) ->
+      let before_part =
+        match List.assoc_opt name before with
+        | Some b when b > 0.0 ->
+            Printf.sprintf ", \"before_ns\": %.1f, \"speedup\": %.2f" b (b /. ns)
+        | _ -> ""
+      in
+      out "    \"%s\": {\"ns_per_op\": %.1f%s}%s\n" name ns before_part
+        (if i < n - 1 then "," else ""))
+    results;
+  out "  }%s\n" (if grid_s <> None then "," else "");
+  (match grid_s with
+  | Some s ->
+      let before_part =
+        match grid_before_s with
+        | Some b when b > 0.0 ->
+            Printf.sprintf ", \"before_wall_s\": %.2f, \"speedup\": %.2f" b (b /. s)
+        | _ -> ""
+      in
+      out "  \"figures_quick\": {\"wall_s\": %.2f%s}\n" s before_part
+  | None -> ());
+  out "}\n";
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" path
+
+let check ~(path : string) ~(tolerance : float) : unit =
+  let snapshot = load_snapshot path in
+  if snapshot = [] then begin
+    Printf.eprintf "no kernel entries found in %s\n" path;
+    exit 2
+  end;
+  let fresh = run_kernels () in
+  let failed = ref false in
+  List.iter
+    (fun (name, ns) ->
+      match List.assoc_opt name snapshot with
+      | None -> Printf.printf "%-14s (no baseline entry, skipped)\n" name
+      | Some (base, _) ->
+          let ratio = ns /. base in
+          let verdict =
+            if ratio > 1.0 +. tolerance then begin
+              failed := true;
+              "REGRESSED"
+            end
+            else "ok"
+          in
+          Printf.printf "%-14s %10.1f ns vs baseline %10.1f ns (%.2fx) %s\n" name ns base
+            ratio verdict)
+    fresh;
+  if !failed then begin
+    Printf.eprintf "microbench: kernel regression beyond %.0f%% tolerance\n" (tolerance *. 100.0);
+    exit 1
+  end
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse (out, before, check_path, tol, grid) = function
+    | [] -> (out, before, check_path, tol, grid)
+    | "--out" :: p :: rest -> parse (p, before, check_path, tol, grid) rest
+    | "--before" :: p :: rest -> parse (out, Some p, check_path, tol, grid) rest
+    | "--check" :: p :: rest -> parse (out, before, Some p, tol, grid) rest
+    | "--tolerance" :: v :: rest -> parse (out, before, check_path, float_of_string v, grid) rest
+    | "--no-grid" :: rest -> parse (out, before, check_path, tol, false) rest
+    | a :: _ -> failwith (Printf.sprintf "unknown argument %S" a)
+  in
+  let out, before_path, check_path, tolerance, grid =
+    parse ("BENCH_hotpath.json", None, None, 0.25, true) args
+  in
+  match check_path with
+  | Some path -> check ~path ~tolerance
+  | None ->
+      let before, grid_before =
+        match before_path with
+        | None -> ([], None)
+        | Some p ->
+            (* a baseline that itself has before/after fields keeps its
+               original "before" numbers: `make bench` refreshes the
+               after side without erasing the tracked baseline *)
+            let snap = load_snapshot p in
+            let grid_b =
+              let ic = open_in p in
+              let v = ref None and v0 = ref None in
+              (try
+                 while true do
+                   let line = input_line ic in
+                   if !v = None then v := find_float ~key:"wall_s" line;
+                   if !v0 = None then v0 := find_float ~key:"before_wall_s" line
+                 done
+               with End_of_file -> ());
+              close_in ic;
+              if !v0 <> None then !v0 else !v
+            in
+            (List.map (fun (n, (ns, b)) -> (n, Option.value b ~default:ns)) snap, grid_b)
+      in
+      let results = run_kernels () in
+      let grid_s = if grid then Some (grid_wall_s ()) else None in
+      write_snapshot ~path:out ~before ~results ~grid_s ~grid_before_s:grid_before

@@ -29,7 +29,18 @@ type t = {
   stock : Page_stock.t;
   objects : Object_table.t;
   los : Los.t;
-  blocks : (int, Block.t) Hashtbl.t;  (** block index -> block *)
+  mutable table : Block.t option array;
+      (** block index -> block, dense.  Indices are monotonic (a
+          dissolved block's slot stays [None]), so the allocation fast
+          path is one array load instead of a hash probe, and iteration
+          is ascending-index — the deterministic order every sweep and
+          defrag pass uses. *)
+  mutable nblocks : int;  (** live (assembled, not dissolved) blocks *)
+  page_owner : int array;
+      (** stock page id -> owning block index, -1 when unassembled: the
+          O(1) reverse index behind [find_page_owner], replacing the
+          all-blocks × all-pages scan the OS failure up-call used to
+          pay *)
   mutable next_block_index : int;
   mutable recyclable : int list;  (** block indices with free lines, address order *)
   (* bump-pointer state: main cursor *)
@@ -62,7 +73,9 @@ let create ?(tracer = Trace.null) ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics :
     stock;
     objects;
     los;
-    blocks = Hashtbl.create 256;
+    table = Array.make 256 None;
+    nblocks = 0;
+    page_owner = Array.make (Page_stock.npages stock) (-1);
     next_block_index = 0;
     recyclable = [];
     cur_block = -1;
@@ -82,12 +95,29 @@ let create ?(tracer = Trace.null) ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics :
      free lines held inside partially used blocks, not just free stock
      pages *)
   Page_stock.set_extra_free stock (fun () ->
-      Hashtbl.fold (fun _ b acc -> acc + Block.free_bytes b) t.blocks 0);
+      let acc = ref 0 in
+      for i = 0 to t.next_block_index - 1 do
+        match Array.unsafe_get t.table i with
+        | Some b -> acc := !acc + Block.free_bytes b
+        | None -> ()
+      done;
+      !acc);
   t
 
 let weights (t : t) : Cost.weights = t.cost.Cost.weights
 
-let block (t : t) (index : int) : Block.t = Hashtbl.find t.blocks index
+(* ascending-index iteration over live blocks — the single deterministic
+   order used by every collection pass *)
+let iter_blocks (t : t) (f : Block.t -> unit) : unit =
+  for i = 0 to t.next_block_index - 1 do
+    match Array.unsafe_get t.table i with Some b -> f b | None -> ()
+  done
+
+let block_opt (t : t) (index : int) : Block.t option =
+  if index < 0 || index >= t.next_block_index then None else t.table.(index)
+
+let block (t : t) (index : int) : Block.t =
+  match block_opt t index with Some b -> b | None -> raise Not_found
 
 let block_of_addr (t : t) (addr : int) : Block.t = block t (addr / block_bytes)
 
@@ -108,7 +138,14 @@ let install_block (t : t) ~(pages : int array) : int =
       ~page_bitmap:(fun id ->
         if id = -1 then empty_bitmap else (Page_stock.page t.stock id).Page_stock.bitmap)
   in
-  Hashtbl.replace t.blocks index b;
+  if index >= Array.length t.table then begin
+    let grown = Array.make (max 16 (2 * Array.length t.table)) None in
+    Array.blit t.table 0 grown 0 (Array.length t.table);
+    t.table <- grown
+  end;
+  t.table.(index) <- Some b;
+  t.nblocks <- t.nblocks + 1;
+  Array.iter (fun id -> if id >= 0 then t.page_owner.(id) <- index) pages;
   Cost.charge t.cost w.Cost.block_assemble;
   t.metrics.Metrics.blocks_assembled <- t.metrics.Metrics.blocks_assembled + 1;
   index
@@ -164,9 +201,15 @@ let assemble_perfect_block (t : t) : int option =
 (* Dissolve a completely free block, returning its pages to the stock. *)
 let dissolve_block (t : t) (b : Block.t) : unit =
   Array.iter
-    (fun id -> if id = -1 then Page_stock.return_borrowed t.stock else Page_stock.return_page t.stock id)
+    (fun id ->
+      if id = -1 then Page_stock.return_borrowed t.stock
+      else begin
+        t.page_owner.(id) <- -1;
+        Page_stock.return_page t.stock id
+      end)
     b.Block.pages;
-  Hashtbl.remove t.blocks b.Block.index
+  t.table.(b.Block.index) <- None;
+  t.nblocks <- t.nblocks - 1
 
 (* ------------------------------------------------------------------ *)
 (* Bump allocation                                                     *)
@@ -195,9 +238,11 @@ let place_at_ovf (t : t) ~(size : int) : int =
 
 (* Point the main cursor at a hole of [b]; true on success. *)
 let set_cursor_to_hole (t : t) (b : Block.t) ~(from_line : int) ~(min_bytes : int) : bool =
-  match Block.find_hole b ~from_line ~min_bytes with
-  | None -> false
-  | Some (s, e, examined) ->
+  let enc = Block.find_hole_enc b ~from_line ~min_bytes in
+  if enc < 0 then false
+  else begin
+      let s = enc lsr 30 and e = enc land 0x3FFFFFFF in
+      let examined = e - (if from_line > 0 then from_line else 0) in
       let w = weights t in
       Cost.charge t.cost (w.Cost.line_scan *. float_of_int examined);
       t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
@@ -206,6 +251,7 @@ let set_cursor_to_hole (t : t) (b : Block.t) ~(from_line : int) ~(min_bytes : in
       t.cursor <- b.Block.base + (s * b.Block.line_size);
       t.limit <- b.Block.base + (e * b.Block.line_size);
       true
+  end
 
 (* Small-object allocation without triggering collection.  Returns the
    address or None (heap exhausted at this instant). *)
@@ -288,9 +334,11 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
         if Trace.armed t.tracer then
           Trace.instant t.tracer ~tid:Trace.tid_alloc "overflow_search"
             ~args:[ ("size", float_of_int size) ];
-        match Block.find_hole b ~from_line:0 ~min_bytes:size with
-        | None -> false
-        | Some (s, e, examined) ->
+        let enc = Block.find_hole_enc b ~from_line:0 ~min_bytes:size in
+        if enc < 0 then false
+        else begin
+            let s = enc lsr 30 and e = enc land 0x3FFFFFFF in
+            let examined = e in
             Cost.charge t.cost
               (w.Cost.hole_skip +. (w.Cost.line_scan *. float_of_int examined));
             t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
@@ -299,6 +347,7 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
             t.ovf_cursor <- b.Block.base + (s * b.Block.line_size);
             t.ovf_limit <- b.Block.base + (e * b.Block.line_size);
             true
+        end
       in
       if search_ovf () then Placed (place_at_ovf t ~size)
       else
@@ -306,8 +355,10 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
         | Some bi -> (
             Cost.charge t.cost w.Cost.block_open;
             let b = block t bi in
-            match Block.find_hole b ~from_line:0 ~min_bytes:size with
-            | Some (s, e, examined) ->
+            let enc = Block.find_hole_enc b ~from_line:0 ~min_bytes:size in
+            if enc >= 0 then begin
+                let s = enc lsr 30 and e = enc land 0x3FFFFFFF in
+                let examined = e in
                 Cost.charge t.cost (w.Cost.line_scan *. float_of_int examined);
                 t.metrics.Metrics.lines_scanned <- t.metrics.Metrics.lines_scanned + examined;
                 Stats.observe t.metrics.Metrics.hole_search_hist (float_of_int examined);
@@ -315,13 +366,15 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
                 t.ovf_cursor <- b.Block.base + (s * b.Block.line_size);
                 t.ovf_limit <- b.Block.base + (e * b.Block.line_size);
                 Placed (place_at_ovf t ~size)
-            | None ->
+            end
+            else begin
                 (* even a completely fresh block has no big-enough hole:
                    the *static* failure pattern, not garbage, is the
                    obstacle.  A collection cannot help; hand the block's
                    pages back and request a perfect block. *)
                 dissolve_block t b;
-                Needs_perfect)
+                Needs_perfect
+            end)
         | None -> Needs_gc
     end
   end
@@ -359,8 +412,9 @@ let alloc_nogc (t : t) ~(size : int) : int option =
 (* ------------------------------------------------------------------ *)
 
 let total_free_bytes (t : t) : int =
-  let blocks_free = Hashtbl.fold (fun _ b acc -> acc + Block.free_bytes b) t.blocks 0 in
-  Page_stock.free_usable_bytes t.stock + blocks_free
+  let blocks_free = ref 0 in
+  iter_blocks t (fun b -> blocks_free := !blocks_free + Block.free_bytes b);
+  Page_stock.free_usable_bytes t.stock + !blocks_free
 
 let reset_cursors (t : t) : unit =
   t.cur_block <- -1;
@@ -375,17 +429,17 @@ let reset_cursors (t : t) : unit =
 let rebuild_recyclable (t : t) ~(except : Block.t -> bool) : unit =
   let w = weights t in
   let acc = ref [] in
-  Hashtbl.iter
-    (fun _ b ->
+  (* ascending-index iteration: the list is built already sorted *)
+  iter_blocks t (fun b ->
       Cost.charge t.cost (w.Cost.sweep_line *. float_of_int b.Block.nlines);
       b.Block.recyclable <- false;
       if b.Block.free_lines > 0 && (not (except b)) && b.Block.index <> t.cur_block
          && b.Block.index <> t.ovf_block
-      then acc := b.Block.index :: !acc)
-    t.blocks;
-  let sorted = List.sort compare !acc in
-  List.iter (fun bi -> (block t bi).Block.recyclable <- true) sorted;
-  t.recyclable <- sorted
+      then begin
+        b.Block.recyclable <- true;
+        acc := b.Block.index :: !acc
+      end);
+  t.recyclable <- List.rev !acc
 
 (* Evacuate the live, unpinned objects of [b] using the normal allocator
    (no collection recursion).  Evacuation is opportunistic, as in Immix:
@@ -419,6 +473,50 @@ let evacuate_block (t : t) (b : Block.t) : int =
   b.Block.evacuate <- false;
   !left
 
+(* Select the blocks a full collection will evacuate: blocks flagged by
+   a dynamic failure always; when defragmentation was requested, also
+   the sparsest half of the blocks under the occupancy threshold.
+   Returns the candidates with their count — sizes are tallied during
+   the single selection pass, never by re-measuring the lists. *)
+let prepare_defrag (t : t) : Block.t list * int =
+  let flagged = ref [] and sparse = ref [] in
+  let n_flagged = ref 0 and n_sparse = ref 0 in
+  (* On-demand defragmentation consolidates much more aggressively than
+     the steady-state threshold: it exists to turn scattered free lines
+     back into whole free pages (for the LOS and overflow fallback). *)
+  let threshold =
+    if t.defrag_requested then Float.max t.cfg.Config.defrag_occupancy 0.90
+    else t.cfg.Config.defrag_occupancy
+  in
+  iter_blocks t (fun b ->
+      let usable = b.Block.nlines - b.Block.failed_lines in
+      if usable > 0 then begin
+        let live_lines = usable - b.Block.free_lines in
+        let ratio = float_of_int live_lines /. float_of_int usable in
+        if b.Block.evacuate then begin
+          flagged := b :: !flagged;
+          incr n_flagged
+        end
+        else if t.cfg.Config.defrag && t.defrag_requested && ratio > 0.0 && ratio < threshold
+        then begin
+          sparse := (ratio, b) :: !sparse;
+          incr n_sparse
+        end
+      end);
+  let flagged = List.rev !flagged and sparse = List.rev !sparse in
+  let n_flagged = !n_flagged and n_sparse = !n_sparse in
+  if Sys.getenv_opt "HOLES_DEBUG_DEFRAG" <> None then
+    Printf.eprintf "[defrag] requested=%b flagged=%d sparse=%d blocks=%d\n%!" t.defrag_requested
+      n_flagged n_sparse t.nblocks;
+  (* When most blocks are sparse (common under heavy failures), all of
+     them would be candidates and evacuation would have no destination.
+     Evacuate the sparsest half into the denser half: consolidation
+     still converges, and destinations always exist. *)
+  let sparse_sorted = List.sort (fun (a, _) (b, _) -> compare a b) sparse in
+  let evacuated = List.filteri (fun i _ -> i <= n_sparse / 2) sparse_sorted |> List.map snd in
+  let n_evacuated = if n_sparse = 0 then 0 else (n_sparse / 2) + 1 in
+  (flagged @ evacuated, n_flagged + n_evacuated)
+
 (** A full-heap collection: trace all live objects, rebuild line marks,
     reclaim dead objects (Immix + LOS), dissolve empty blocks, then
     optionally defragment sparse or failure-hit blocks by evacuation. *)
@@ -429,7 +527,7 @@ let full_gc (t : t) : unit =
   if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "full_gc";
   Cost.charge t.cost w.Cost.gc_fixed;
   reset_cursors t;
-  Hashtbl.iter (fun _ b -> Block.clear_marks b) t.blocks;
+  iter_blocks t Block.clear_marks;
   (* trace live objects; reclaim dead ones *)
   if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "mark";
   Object_table.iter_slots t.objects (fun id ->
@@ -450,69 +548,39 @@ let full_gc (t : t) : unit =
         Object_table.release t.objects id
       end);
   if armed then Trace.end_span t.tracer ~tid:Trace.tid_gc "mark";
-  (* sweep: dissolve empty blocks *)
+  (* sweep: dissolve empty blocks — a single ascending pass over the
+     block table (dissolving only blanks the slot, so iterating while
+     dissolving is safe) *)
   if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "sweep";
-  let empties = ref [] in
-  Hashtbl.iter (fun _ b -> if Block.is_empty b then empties := b :: !empties) t.blocks;
-  List.iter (dissolve_block t) !empties;
+  iter_blocks t (fun b -> if Block.is_empty b then dissolve_block t b);
   if armed then Trace.end_span t.tracer ~tid:Trace.tid_gc "sweep";
   (* defragmentation / dynamic-failure evacuation: blocks flagged by a
      dynamic failure are always evacuated; sparse blocks additionally
      when defragmentation is enabled *)
-  let flagged = ref [] and sparse = ref [] in
-  (* On-demand defragmentation consolidates much more aggressively than
-     the steady-state threshold: it exists to turn scattered free lines
-     back into whole free pages (for the LOS and overflow fallback). *)
-  let threshold =
-    if t.defrag_requested then Float.max t.cfg.Config.defrag_occupancy 0.90
-    else t.cfg.Config.defrag_occupancy
-  in
-  Hashtbl.iter
-    (fun _ b ->
-      let usable = b.Block.nlines - b.Block.failed_lines in
-      if usable > 0 then begin
-        let live_lines = usable - b.Block.free_lines in
-        let ratio = float_of_int live_lines /. float_of_int usable in
-        if b.Block.evacuate then flagged := b :: !flagged
-        else if t.cfg.Config.defrag && t.defrag_requested && ratio > 0.0 && ratio < threshold
-        then sparse := (ratio, b) :: !sparse
-      end)
-    t.blocks;
-  (* When most blocks are sparse (common under heavy failures), all of
-     them would be candidates and evacuation would have no destination.
-     Evacuate the sparsest half into the denser half: consolidation
-     still converges, and destinations always exist. *)
-  (if Sys.getenv_opt "HOLES_DEBUG_DEFRAG" <> None then
-     Printf.eprintf "[defrag] requested=%b flagged=%d sparse=%d blocks=%d\n%!"
-       t.defrag_requested (List.length !flagged) (List.length !sparse)
-       (Hashtbl.length t.blocks));
-  let sparse_sorted = List.sort (fun (a, _) (b, _) -> compare a b) !sparse in
-  let n_sparse = List.length sparse_sorted in
-  let evacuated =
-    List.filteri (fun i _ -> i <= n_sparse / 2) sparse_sorted |> List.map snd
-  in
-  let candidates = ref (!flagged @ evacuated) in
-  if !candidates <> [] then begin
+  let candidates, n_candidates = prepare_defrag t in
+  if candidates <> [] then begin
     if armed then
       Trace.begin_span t.tracer ~tid:Trace.tid_gc "defrag"
-        ~args:[ ("candidates", float_of_int (List.length !candidates)) ];
+        ~args:[ ("candidates", float_of_int n_candidates) ];
     let is_candidate =
       let set = Hashtbl.create 16 in
-      List.iter (fun b -> Hashtbl.replace set b.Block.index ()) !candidates;
+      List.iter (fun b -> Hashtbl.replace set b.Block.index ()) candidates;
       fun (b : Block.t) -> Hashtbl.mem set b.Block.index
     in
     rebuild_recyclable t ~except:is_candidate;
     let left_behind = ref 0 in
-    List.iter (fun b -> left_behind := !left_behind + evacuate_block t b) !candidates;
-    (* dissolve blocks the evacuation emptied *)
-    let empties = ref [] in
-    Hashtbl.iter (fun _ b -> if Block.is_empty b && b.Block.index <> t.cur_block
-                              && b.Block.index <> t.ovf_block then empties := b :: !empties)
-      t.blocks;
+    List.iter (fun b -> left_behind := !left_behind + evacuate_block t b) candidates;
+    (* dissolve blocks the evacuation emptied: single ascending pass *)
+    let dissolved = ref 0 in
+    iter_blocks t (fun b ->
+        if Block.is_empty b && b.Block.index <> t.cur_block && b.Block.index <> t.ovf_block
+        then begin
+          dissolve_block t b;
+          incr dissolved
+        end);
     (if Sys.getenv_opt "HOLES_DEBUG_DEFRAG" <> None then
        Printf.eprintf "[defrag] evac done left=%d dissolved=%d evacuated=%d\n%!" !left_behind
-         (List.length !empties) t.metrics.Metrics.objects_evacuated);
-    List.iter (dissolve_block t) !empties;
+         !dissolved t.metrics.Metrics.objects_evacuated);
     if armed then Trace.end_span t.tracer ~tid:Trace.tid_gc "defrag"
   end;
   rebuild_recyclable t ~except:(fun _ -> false);
@@ -571,14 +639,11 @@ let nursery_gc (t : t) : unit =
         Object_table.clear_nursery_flag t.objects id
       end);
   Intvec.clear t.nursery;
-  (* dissolve empty blocks and refresh the recycled list *)
-  let empties = ref [] in
-  Hashtbl.iter
-    (fun _ b ->
+  (* dissolve empty blocks (single ascending pass) and refresh the
+     recycled list *)
+  iter_blocks t (fun b ->
       if Block.is_empty b && b.Block.index <> t.cur_block && b.Block.index <> t.ovf_block then
-        empties := b :: !empties)
-    t.blocks;
-  List.iter (dissolve_block t) !empties;
+        dissolve_block t b);
   rebuild_recyclable t ~except:(fun _ -> false);
   let freed = total_free_bytes t - free_before in
   let heap_bytes = Page_stock.npages t.stock * Holes_pcm.Geometry.page_bytes in
@@ -671,7 +736,7 @@ let rec dynamic_failure (t : t) ~(addr : int) : unit =
     Trace.instant t.tracer ~tid:Trace.tid_gc "dynamic_failure"
       ~args:[ ("addr", float_of_int addr) ];
   let bi = addr / block_bytes in
-  match Hashtbl.find_opt t.blocks bi with
+  match block_opt t bi with
   | None ->
       (* the address is not backed by an assembled block (stale address
          or dissolved block): nothing lives there, only OS bookkeeping
@@ -733,7 +798,7 @@ and dynamic_failure_in_block (t : t) ~(addr : int) ~(bi : int) ~(b : Block.t) : 
        full_gc t
      end);
     (* the block may have been dissolved by the collection *)
-    (match Hashtbl.find_opt t.blocks bi with
+    (match block_opt t bi with
     | None -> ()
     | Some b -> (
         if overlapping ~alive_only:true <> [] then begin
@@ -757,21 +822,24 @@ and dynamic_failure_in_block (t : t) ~(addr : int) ~(bi : int) ~(b : Block.t) : 
     [page], if any — the reverse lookup the OS failure up-call needs to
     turn a page/line pair back into a heap address. *)
 let find_page_owner (t : t) ~(page : int) : (Block.t * int) option =
-  let found = ref None in
-  Hashtbl.iter
-    (fun _ b ->
-      if Option.is_none !found then
-        Array.iteri
-          (fun i p -> if p = page && Option.is_none !found then found := Some (b, i))
-          b.Block.pages)
-    t.blocks;
-  !found
+  if page < 0 || page >= Array.length t.page_owner then None
+  else
+    match block_opt t t.page_owner.(page) with
+    | None -> None
+    | Some b ->
+        (* position within the block's eight pages *)
+        let rec pos i =
+          if i >= Array.length b.Block.pages then None
+          else if b.Block.pages.(i) = page then Some (b, i)
+          else pos (i + 1)
+        in
+        pos 0
 
 (** Stock page id and 64 B PCM line backing heap byte [addr], if the
     address lies in an assembled block ([None] for DRAM-borrowed pages
     and unassembled addresses). *)
 let page_backing (t : t) ~(addr : int) : (int * int) option =
-  match Hashtbl.find_opt t.blocks (addr / block_bytes) with
+  match block_opt t (addr / block_bytes) with
   | None -> None
   | Some b ->
       let off = addr - b.Block.base in
@@ -787,7 +855,7 @@ let request_defrag (t : t) : unit = t.defrag_requested <- true
 (** Force a collection (used by the VM's LOS retry path). *)
 let collect (t : t) ~(full : bool) : unit = if full then full_gc t else nursery_gc t
 
-let live_blocks (t : t) : int = Hashtbl.length t.blocks
+let live_blocks (t : t) : int = t.nblocks
 
 (** Invariant checks (valid at any point, not just after a collection):
     no *live* object overlaps a failed line, and per-line live counts
@@ -798,15 +866,13 @@ let check_invariants (t : t) : (unit, string) result =
   let fail msg = if !err = None then err := Some msg in
   (* recompute per-line expected counts over every uncollected object *)
   let expected : (int, int array) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun i b -> Hashtbl.replace expected i (Array.make b.Block.nlines 0))
-    t.blocks;
+  iter_blocks t (fun b -> Hashtbl.replace expected b.Block.index (Array.make b.Block.nlines 0));
   Object_table.iter_slots t.objects (fun id ->
       if not (Object_table.is_los t.objects id) then begin
         let alive = Object_table.is_alive t.objects id in
         let addr = Object_table.addr t.objects id in
         let size = Object_table.size t.objects id in
-        match Hashtbl.find_opt t.blocks (addr / block_bytes) with
+        match block_opt t (addr / block_bytes) with
         | None -> if alive then fail (Printf.sprintf "object %d at %d not in any block" id addr)
         | Some b ->
             let lo, hi = Block.lines_of_object b ~addr ~size in
@@ -817,14 +883,13 @@ let check_invariants (t : t) : (unit, string) result =
                 (Hashtbl.find expected b.Block.index).(l) + 1
             done
       end);
-  Hashtbl.iter
-    (fun i b ->
+  iter_blocks t (fun b ->
+      let i = b.Block.index in
       let exp = Hashtbl.find expected i in
       for l = 0 to b.Block.nlines - 1 do
         if b.Block.live.(l) <> exp.(l) then
           fail
             (Printf.sprintf "block %d line %d: live count %d, expected %d" i l b.Block.live.(l)
                exp.(l))
-      done)
-    t.blocks;
+      done);
   match !err with None -> Ok () | Some m -> Error m

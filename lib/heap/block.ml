@@ -2,32 +2,44 @@
     (paper Sec. 4.1, Fig. 2).
 
     Line states follow failure-aware Immix (Sec. 4.2): lines are free,
-    live, or — the added fourth category — *failed*.  Line marks are a
-    byte each in Immix; the failed state reuses one of the spare values,
-    so failure awareness needs no extra metadata.  A failed 64 B PCM line
-    widens to its enclosing logical line (a *false failure* when the
-    logical line is larger, Sec. 6.2). *)
+    live, or — the added fourth category — *failed*.  A failed 64 B PCM
+    line widens to its enclosing logical line (a *false failure* when the
+    logical line is larger, Sec. 6.2).
+
+    The line map is stored as two packed bitmaps ([free] and [failed];
+    live = neither) instead of one byte per line, so the hot operations
+    — [find_hole], [clear_marks], [count_holes], and the false-failure
+    widening in [create] — are word operations over 63-bit words.  The
+    cost model is representation-independent: [find_hole] reports the
+    exact [lines_examined] count the byte-at-a-time scan charged, because
+    that scan touched every line from the scan start to the end of the
+    returned run (or the end of the block) exactly once, which is a
+    subtraction here (see DESIGN.md §9). *)
 
 open Holes_stdx
 
 type line_state = Free | Live | Failed
-
-(* line state encoding in the byte map *)
-let st_free = '\000'
-let st_live = '\001'
-let st_failed = '\002'
 
 type t = {
   index : int;
   base : int;  (** first byte address of the block *)
   pages : int array;  (** page-stock ids backing the block, in order *)
   line_size : int;
+  line_shift : int;  (** log2 [line_size]: line sizes are powers of two,
+                         so offset->line is a shift, not a division *)
   nlines : int;
-  state : Bytes.t;  (** one byte per logical line *)
+  free : Bitset.t;  (** lines holding no live data and not failed *)
+  failed : Bitset.t;  (** lines widened from failed PCM lines *)
   live : int array;  (** per-line count of live objects touching the line *)
   objs : Intvec.t;  (** ids of objects allocated in this block (may be stale) *)
   mutable free_lines : int;
   mutable failed_lines : int;
+  mutable hole_bound : int;
+      (** upper bound on the longest free run, in lines: a failed
+          whole-block hole search for [n] lines proves every run is
+          shorter, so later searches for >= [n] lines can answer [None]
+          without rescanning.  Conservative: growing a run (freeing a
+          line) resets it to [free_lines]. *)
   mutable recyclable : bool;  (** queued on the allocator's recycled list *)
   mutable evacuate : bool;  (** selected for defragmentation / dynamic failure *)
 }
@@ -36,56 +48,58 @@ let pcm_line = Holes_pcm.Geometry.line_bytes
 let pcm_lines_per_page = Holes_pcm.Geometry.lines_per_page
 
 (** Create a block over [pages] (backing page-stock ids), importing each
-    page's 64 B failure bitmap into logical-line failed marks. *)
+    page's 64 B failure bitmap into logical-line failed marks.  The
+    import iterates only the *set* bits of each page bitmap (word-level
+    extraction), so an undamaged page costs one word compare. *)
 let create ~(index : int) ~(base : int) ~(line_size : int) ~(pages : int array)
     ~(page_bitmap : int -> Bitset.t) : t =
   if not (Units.valid_line_size line_size) then invalid_arg "Block.create: bad line size";
   if Array.length pages <> Units.pages_per_block then
     invalid_arg "Block.create: wrong page count";
   let nlines = Units.lines_per_block ~line_size in
-  let state = Bytes.make nlines st_free in
-  let live = Array.make nlines 0 in
+  let free = Bitset.create nlines in
+  Bitset.fill free true;
+  let failed = Bitset.create nlines in
   (* false-failure widening: any failed 64 B PCM line inside a logical
      line fails the whole logical line *)
   let pcm_per_logical = line_size / pcm_line in
-  let failed = ref 0 in
-  for l = 0 to nlines - 1 do
-    let first_pcm = l * pcm_per_logical in
-    let rec any i =
-      if i >= pcm_per_logical then false
-      else
-        let pcm_idx = first_pcm + i in
-        let pg = pcm_idx / pcm_lines_per_page in
-        let off = pcm_idx mod pcm_lines_per_page in
-        if Bitset.get (page_bitmap pages.(pg)) off then true else any (i + 1)
-    in
-    if any 0 then begin
-      Bytes.set state l st_failed;
-      incr failed
-    end
-  done;
+  Array.iteri
+    (fun pg id ->
+      Bitset.iter_set (page_bitmap id) (fun off ->
+          let pcm_idx = (pg * pcm_lines_per_page) + off in
+          let l = pcm_idx / pcm_per_logical in
+          if not (Bitset.get failed l) then begin
+            Bitset.set failed l;
+            Bitset.clear free l
+          end))
+    pages;
+  let nfailed = Bitset.count failed in
+  let line_shift =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
+    log2 line_size
+  in
   {
     index;
     base;
     pages;
     line_size;
+    line_shift;
     nlines;
-    state;
-    live;
+    free;
+    failed;
+    live = Array.make nlines 0;
     objs = Intvec.create ();
-    free_lines = nlines - !failed;
-    failed_lines = !failed;
+    free_lines = nlines - nfailed;
+    failed_lines = nfailed;
+    hole_bound = nlines - nfailed;
     recyclable = false;
     evacuate = false;
   }
 
 let line_state (t : t) (l : int) : line_state =
-  match Bytes.get t.state l with
-  | c when c = st_free -> Free
-  | c when c = st_live -> Live
-  | _ -> Failed
+  if Bitset.get t.failed l then Failed else if Bitset.get t.free l then Free else Live
 
-let is_failed_line (t : t) (l : int) : bool = Bytes.get t.state l = st_failed
+let is_failed_line (t : t) (l : int) : bool = Bitset.get t.failed l
 
 (** Is the block free of any live data? *)
 let is_empty (t : t) : bool = t.free_lines = t.nlines - t.failed_lines
@@ -96,105 +110,108 @@ let is_perfect (t : t) : bool = t.failed_lines = 0
 (** Usable bytes remaining (free lines × line size). *)
 let free_bytes (t : t) : int = t.free_lines * t.line_size
 
-let line_of_offset (t : t) (offset : int) : int = offset / t.line_size
+let line_of_offset (t : t) (offset : int) : int = offset lsr t.line_shift
 
 (** Lines spanned by an object at [addr] (block-relative) of [size]
     bytes: inclusive line index range. *)
 let lines_of_object (t : t) ~(addr : int) ~(size : int) : int * int =
   let off = addr - t.base in
-  (off / t.line_size, (off + size - 1) / t.line_size)
+  (off lsr t.line_shift, (off + size - 1) lsr t.line_shift)
 
 (** Account a newly placed object: bump per-line live counts, flip free
-    lines to live. *)
+    lines to live.  Consuming free lines only shrinks runs, so the
+    cached [hole_bound] stays valid. *)
 let add_object_lines (t : t) ~(addr : int) ~(size : int) : unit =
   let lo, hi = lines_of_object t ~addr ~size in
   for l = lo to hi do
-    if Bytes.get t.state l = st_failed then
+    if Bitset.get t.failed l then
       invalid_arg "Block.add_object_lines: allocation overlaps a failed line";
     if t.live.(l) = 0 then begin
-      Bytes.set t.state l st_live;
+      Bitset.clear t.free l;
       t.free_lines <- t.free_lines - 1
     end;
     t.live.(l) <- t.live.(l) + 1
   done
 
 (** Account a reclaimed object: drop per-line live counts, freeing lines
-    whose count reaches zero. *)
+    whose count reaches zero (runs can grow: the hole bound resets). *)
 let remove_object_lines (t : t) ~(addr : int) ~(size : int) : unit =
   let lo, hi = lines_of_object t ~addr ~size in
   for l = lo to hi do
     if t.live.(l) <= 0 then invalid_arg "Block.remove_object_lines: line not live";
     t.live.(l) <- t.live.(l) - 1;
     if t.live.(l) = 0 then begin
-      Bytes.set t.state l st_free;
+      Bitset.set t.free l;
       t.free_lines <- t.free_lines + 1
     end
-  done
+  done;
+  t.hole_bound <- t.free_lines
 
 (** Reset all line marks to free (preserving failed lines) ahead of a
-    full-collection rebuild. *)
+    full-collection rebuild: the free map becomes the word-level
+    complement of the failed map. *)
 let clear_marks (t : t) : unit =
-  for l = 0 to t.nlines - 1 do
-    if Bytes.get t.state l <> st_failed then Bytes.set t.state l st_free;
-    t.live.(l) <- 0
-  done;
+  Bitset.blit_complement ~src:t.failed ~dst:t.free;
+  Array.fill t.live 0 t.nlines 0;
   t.free_lines <- t.nlines - t.failed_lines;
+  t.hole_bound <- t.free_lines;
   Intvec.clear t.objs
 
-(** [find_hole t ~from_line ~min_bytes] scans the line map for the next
-    maximal run of free lines, at or after [from_line], spanning at
-    least [min_bytes].  Returns [(start_line, limit_line, lines_examined)]
-    where the hole is lines [start_line .. limit_line - 1];
-    [lines_examined] feeds the cost model.  [None] if no such hole
-    remains in the block. *)
+(** [find_hole_enc t ~from_line ~min_bytes] scans the line map for the
+    next maximal run of free lines, at or after [from_line], spanning at
+    least [min_bytes] — the hole search underneath every bump-cursor
+    refill.  The result is [(start_line lsl 30) lor limit_line] (the
+    hole is lines [start_line .. limit_line - 1]), or -1 when no such
+    hole remains: the hot path allocates nothing.
+
+    The cost model charges [lines_examined = limit_line - max 0
+    from_line], exactly what the per-byte scan charged: every line from
+    the scan start through the end of the returned run, counted once.
+    Callers compute it from the fields they already decode (see
+    [find_hole]).  A -1 result examined every remaining line — but no
+    caller charges for a failed search, which is what lets the
+    [hole_bound] fast path below skip provably hopeless scans without
+    perturbing the cost model. *)
+let find_hole_enc (t : t) ~(from_line : int) ~(min_bytes : int) : int =
+  let needed_lines = (min_bytes + t.line_size - 1) lsr t.line_shift in
+  let start = if from_line > 0 then from_line else 0 in
+  if start <= 0 && needed_lines > t.hole_bound then -1
+  else begin
+    let enc = Bitset.find_set_run_enc t.free ~from:start ~min_len:needed_lines in
+    (* a failed whole-block search proves no run reaches [needed_lines] *)
+    if enc < 0 && start <= 0 then t.hole_bound <- min t.hole_bound (needed_lines - 1);
+    enc
+  end
+
+(** Decoded form of [find_hole_enc]:
+    [Some (start_line, limit_line, lines_examined)] or [None]. *)
 let find_hole (t : t) ~(from_line : int) ~(min_bytes : int) : (int * int * int) option =
-  let needed_lines = (min_bytes + t.line_size - 1) / t.line_size in
-  let examined = ref 0 in
-  let rec scan l =
-    if l >= t.nlines then None
-    else begin
-      incr examined;
-      if Bytes.get t.state l <> st_free then scan (l + 1)
-      else begin
-        (* extend the run *)
-        let e = ref (l + 1) in
-        while !e < t.nlines && Bytes.get t.state !e = st_free do
-          incr examined;
-          incr e
-        done;
-        if !e - l >= needed_lines then Some (l, !e, !examined) else scan !e
-      end
-    end
-  in
-  scan (max 0 from_line)
+  let enc = find_hole_enc t ~from_line ~min_bytes in
+  if enc < 0 then None
+  else
+    let s = enc lsr 30 and e = enc land 0x3FFFFFFF in
+    Some (s, e, e - max 0 from_line)
 
 (** Number of holes (maximal free runs) — the fragmentation statistic. *)
-let count_holes (t : t) : int =
-  let holes = ref 0 in
-  let in_hole = ref false in
-  for l = 0 to t.nlines - 1 do
-    if Bytes.get t.state l = st_free then begin
-      if not !in_hole then incr holes;
-      in_hole := true
-    end
-    else in_hole := false
-  done;
-  !holes
+let count_holes (t : t) : int = Bitset.count_runs t.free
 
 (** Record a dynamic line failure discovered at runtime: the logical line
     containing block-relative [offset] becomes failed.  Returns the
     object-displacing information: whether the line previously held live
     data. *)
 let fail_line (t : t) ~(line : int) : [ `Was_free | `Was_live | `Already_failed ] =
-  match Bytes.get t.state line with
-  | c when c = st_failed -> `Already_failed
-  | c when c = st_free ->
-      Bytes.set t.state line st_failed;
-      t.failed_lines <- t.failed_lines + 1;
-      t.free_lines <- t.free_lines - 1;
-      `Was_free
-  | _ ->
-      Bytes.set t.state line st_failed;
-      t.failed_lines <- t.failed_lines + 1;
-      t.live.(line) <- 0;
-      `Was_live
+  if Bitset.get t.failed line then `Already_failed
+  else if Bitset.get t.free line then begin
+    Bitset.clear t.free line;
+    Bitset.set t.failed line;
+    t.failed_lines <- t.failed_lines + 1;
+    t.free_lines <- t.free_lines - 1;
+    t.hole_bound <- min t.hole_bound t.free_lines;
+    `Was_free
+  end
+  else begin
+    Bitset.set t.failed line;
+    t.failed_lines <- t.failed_lines + 1;
+    t.live.(line) <- 0;
+    `Was_live
+  end

@@ -26,12 +26,22 @@ let default_config =
     buffer_capacity = 32;
   }
 
+(* lines per arena chunk: 1024 × 64 B = 64 KB, so a device that only
+   ever touches a few pages commits a few chunks, not the whole module *)
+let chunk_lines = 1024
+
 type t = {
   config : config;
   nlines : int;
   rng : Xrng.t;
   lines : Wear.line array;  (** indexed by physical line *)
-  data : (int, Bytes.t) Hashtbl.t;  (** physical line -> payload *)
+  arena : Bytes.t option array;
+      (** payload store: a flat arena of 64 KB chunks indexed by
+          [physical / chunk_lines], committed lazily on first write.  A
+          read of a never-written line sees zeros, exactly as the old
+          per-line hash table reported for an absent key — but reads and
+          writes are now an index computation and a blit, with no
+          hashing on the device hot path. *)
   buffer : Failure_buffer.t;
   regions : Redirect.t array;  (** empty when clustering is off *)
   region_lines : int;  (** lines per region (or whole device when off) *)
@@ -68,7 +78,7 @@ let create ?(config = default_config) ?(tracer = Trace.null) ~(seed : int) () : 
     nlines;
     rng;
     lines;
-    data = Hashtbl.create 1024;
+    arena = Array.make ((nlines + chunk_lines - 1) / chunk_lines) None;
     buffer = Failure_buffer.create ~capacity:config.buffer_capacity ();
     regions;
     region_lines;
@@ -143,8 +153,9 @@ let read (t : t) (logical : int) : Bytes.t =
   match Failure_buffer.forward t.buffer ~addr:logical with
   | Some data -> Bytes.copy data
   | None -> (
-      match Hashtbl.find_opt t.data physical with
-      | Some b -> Bytes.copy b
+      match t.arena.(physical / chunk_lines) with
+      | Some chunk ->
+          Bytes.sub chunk (physical mod chunk_lines * Geometry.line_bytes) Geometry.line_bytes
       | None -> Bytes.make Geometry.line_bytes '\000')
 
 type write_result =
@@ -166,7 +177,16 @@ let write (t : t) (logical : int) (payload : Bytes.t) : write_result =
     let physical = physical_of_logical t logical in
     match Wear.write t.rng t.config.wear t.lines.(physical) with
     | Wear.Ok | Wear.Corrected ->
-        Hashtbl.replace t.data physical (Bytes.copy payload);
+        let chunk =
+          match t.arena.(physical / chunk_lines) with
+          | Some c -> c
+          | None ->
+              let c = Bytes.make (chunk_lines * Geometry.line_bytes) '\000' in
+              t.arena.(physical / chunk_lines) <- Some c;
+              c
+        in
+        Bytes.blit payload 0 chunk (physical mod chunk_lines * Geometry.line_bytes)
+          Geometry.line_bytes;
         Stored
     | Wear.Failed ->
         t.failures <- t.failures + 1;

@@ -15,6 +15,7 @@ let () =
       ("exp", Test_exp.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
+      ("hotpath", Test_hotpath.suite);
       ("integration", Test_integration.suite);
       ("backend", Test_backend.suite);
     ]
