@@ -51,7 +51,7 @@ micro:
 # per trial plus a Chrome trace of every trial: the CI perf-trajectory
 # artifacts.  The trace is -j-independent (virtual timestamps).
 figures-quick:
-	dune exec bench/main.exe -- figures-quick -j 2 --out results.jsonl --trace trace.json
+	dune exec bench/main.exe -- figures-quick -j 2 --verify --out results.jsonl --trace trace.json
 
 # Wall-clock of the reduced grid at -j 1 vs -j max (measures, not
 # asserts, the parallelism win).

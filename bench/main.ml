@@ -12,6 +12,9 @@
      main.exe --trace F.json  write a Chrome trace_event JSON of every
                               executed trial (Perfetto-loadable; virtual
                               timestamps, bit-identical at any -j)
+     main.exe --verify        run the paranoid heap verifier after every
+                              GC phase of every trial (slower; changes
+                              no serialized result)
      main.exe fig3 … fig10    a single figure
      main.exe pauses          the Sec. 4.2 pause-time table
      main.exe headline        the Sec. 8 headline overheads
@@ -39,6 +42,7 @@ let figures : (string * (params:Holes_exp.Runner.params -> Holes_stdx.Table.t)) 
     ("fig10", fun ~params -> Holes_exp.Figures.fig10 ~params ());
     ("pauses", fun ~params -> Holes_exp.Figures.pauses ~params ());
     ("headline", fun ~params -> Holes_exp.Figures.headline ~params ());
+    ("sensitivity", fun ~params -> Holes_exp.Figures.sensitivity ~params ());
     ("wearlevel", fun ~params -> Holes_exp.Wear_ablation.table ~params ());
     ("wearlife", fun ~params -> Holes_exp.Wear_lifetime.table ~params ());
     ("ablation", fun ~params -> Holes_exp.Figures.ablation ~params ());
@@ -200,9 +204,10 @@ let run_speedup () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse (jobs, out, trace, fullp, names) = function
-    | [] -> (jobs, out, trace, fullp, List.rev names)
-    | "--full" :: rest -> parse (jobs, out, trace, true, names) rest
+  let rec parse (jobs, out, trace, fullp, verify, names) = function
+    | [] -> (jobs, out, trace, fullp, verify, List.rev names)
+    | "--full" :: rest -> parse (jobs, out, trace, true, verify, names) rest
+    | "--verify" :: rest -> parse (jobs, out, trace, fullp, true, names) rest
     | ("-j" | "--jobs") :: n :: rest ->
         let j =
           if n = "max" then Holes_engine.Engine.default_jobs ()
@@ -211,12 +216,13 @@ let () =
             | Some j when j >= 1 -> j
             | _ -> failwith (Printf.sprintf "bad -j value %S (positive integer or \"max\")" n)
         in
-        parse (j, out, trace, fullp, names) rest
-    | "--out" :: path :: rest -> parse (jobs, Some path, trace, fullp, names) rest
-    | "--trace" :: path :: rest -> parse (jobs, out, Some path, fullp, names) rest
-    | name :: rest -> parse (jobs, out, trace, fullp, name :: names) rest
+        parse (j, out, trace, fullp, verify, names) rest
+    | "--out" :: path :: rest -> parse (jobs, Some path, trace, fullp, verify, names) rest
+    | "--trace" :: path :: rest -> parse (jobs, out, Some path, fullp, verify, names) rest
+    | name :: rest -> parse (jobs, out, trace, fullp, verify, name :: names) rest
   in
-  let jobs, out, trace, fullp, args = parse (1, None, None, false, []) args in
+  let jobs, out, trace, fullp, verify, args = parse (1, None, None, false, false, []) args in
+  Holes_exp.Runner.set_verify verify;
   let params =
     let p = if fullp then Holes_exp.Runner.full else Holes_exp.Runner.quick in
     { p with Holes_exp.Runner.jobs }

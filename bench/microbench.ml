@@ -17,6 +17,16 @@
                                         FILE's ns_per_op; exit 1 when any
                                         kernel is slower by more than
                                         --tolerance (default 0.25)
+     microbench.exe --check FILE --retry N
+                                        re-measure regressed kernels up to N
+                                        extra times before failing (shared CI
+                                        runners are noisy; a real regression
+                                        reproduces, a scheduling hiccup does
+                                        not)
+     microbench.exe --check FILE --markdown FILE
+                                        also write the before/after table as
+                                        a markdown fragment (for CI job
+                                        summaries)
 
    All numbers are host wall-clock (best of several repetitions), unlike
    the virtual cost-model times in the figures: this file measures the
@@ -267,51 +277,109 @@ let write_snapshot ~(path : string) ~(before : (string * float) list)
   close_out oc;
   Printf.printf "(wrote %s)\n%!" path
 
-let check ~(path : string) ~(tolerance : float) : unit =
+let write_markdown ~(path : string) ~(tolerance : float)
+    ~(rows : (string * float option * float * int) list) : unit =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "### Hot-path kernels vs committed baseline (tolerance %.0f%%)\n\n" (tolerance *. 100.0);
+  out "| kernel | baseline ns/op | fresh ns/op | ratio | attempts | verdict |\n";
+  out "|---|---:|---:|---:|---:|---|\n";
+  List.iter
+    (fun (name, base, ns, attempts) ->
+      match base with
+      | None -> out "| `%s` | — | %.1f | — | %d | no baseline |\n" name ns attempts
+      | Some b ->
+          let ratio = ns /. b in
+          out "| `%s` | %.1f | %.1f | %.2fx | %d | %s |\n" name b ns ratio attempts
+            (if ratio > 1.0 +. tolerance then "**REGRESSED**" else "ok"))
+    rows;
+  close_out oc
+
+let check ~(path : string) ~(tolerance : float) ~(retries : int)
+    ~(markdown : string option) : unit =
   let snapshot = load_snapshot path in
   if snapshot = [] then begin
     Printf.eprintf "no kernel entries found in %s\n" path;
     exit 2
   end;
   let fresh = run_kernels () in
-  let failed = ref false in
+  (* (name, baseline, best observed ns, measurement attempts) *)
+  let rows =
+    ref
+      (List.map
+         (fun (name, ns) ->
+           (name, Option.map fst (List.assoc_opt name snapshot), ns, 1))
+         fresh)
+  in
+  let regressed () =
+    List.filter_map
+      (fun (name, base, ns, _) ->
+        match base with
+        | Some b when ns /. b > 1.0 +. tolerance -> Some name
+        | _ -> None)
+      !rows
+  in
+  (* Re-measure only the regressed kernels: a genuine slowdown reproduces,
+     a noisy-neighbour blip on a shared runner does not.  Keep the best
+     time seen — the floor is the honest estimate of kernel cost. *)
+  let attempt = ref 0 in
+  while regressed () <> [] && !attempt < retries do
+    incr attempt;
+    let names = regressed () in
+    Printf.printf "retry %d/%d for noisy kernels: %s\n%!" !attempt retries
+      (String.concat ", " names);
+    List.iter
+      (fun kname ->
+        let _, mk = List.find (fun (n, _) -> n = kname) kernels in
+        let iters, f = mk () in
+        let ns = time_ns_per_op ~iters f in
+        Printf.printf "%-14s %12.1f ns/op (retry)\n%!" kname ns;
+        rows :=
+          List.map
+            (fun (n, base, best, tries) ->
+              if n = kname then (n, base, Float.min best ns, tries + 1)
+              else (n, base, best, tries))
+            !rows)
+      names
+  done;
   List.iter
-    (fun (name, ns) ->
-      match List.assoc_opt name snapshot with
+    (fun (name, base, ns, _) ->
+      match base with
       | None -> Printf.printf "%-14s (no baseline entry, skipped)\n" name
-      | Some (base, _) ->
-          let ratio = ns /. base in
-          let verdict =
-            if ratio > 1.0 +. tolerance then begin
-              failed := true;
-              "REGRESSED"
-            end
-            else "ok"
-          in
-          Printf.printf "%-14s %10.1f ns vs baseline %10.1f ns (%.2fx) %s\n" name ns base
-            ratio verdict)
-    fresh;
-  if !failed then begin
+      | Some b ->
+          let ratio = ns /. b in
+          Printf.printf "%-14s %10.1f ns vs baseline %10.1f ns (%.2fx) %s\n" name ns b
+            ratio
+            (if ratio > 1.0 +. tolerance then "REGRESSED" else "ok"))
+    !rows;
+  (match markdown with
+  | Some md -> write_markdown ~path:md ~tolerance ~rows:!rows
+  | None -> ());
+  if regressed () <> [] then begin
     Printf.eprintf "microbench: kernel regression beyond %.0f%% tolerance\n" (tolerance *. 100.0);
     exit 1
   end
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse (out, before, check_path, tol, grid) = function
-    | [] -> (out, before, check_path, tol, grid)
-    | "--out" :: p :: rest -> parse (p, before, check_path, tol, grid) rest
-    | "--before" :: p :: rest -> parse (out, Some p, check_path, tol, grid) rest
-    | "--check" :: p :: rest -> parse (out, before, Some p, tol, grid) rest
-    | "--tolerance" :: v :: rest -> parse (out, before, check_path, float_of_string v, grid) rest
-    | "--no-grid" :: rest -> parse (out, before, check_path, tol, false) rest
+  let rec parse (out, before, check_path, tol, grid, retries, md) = function
+    | [] -> (out, before, check_path, tol, grid, retries, md)
+    | "--out" :: p :: rest -> parse (p, before, check_path, tol, grid, retries, md) rest
+    | "--before" :: p :: rest -> parse (out, Some p, check_path, tol, grid, retries, md) rest
+    | "--check" :: p :: rest -> parse (out, before, Some p, tol, grid, retries, md) rest
+    | "--tolerance" :: v :: rest ->
+        parse (out, before, check_path, float_of_string v, grid, retries, md) rest
+    | "--retry" :: v :: rest ->
+        parse (out, before, check_path, tol, grid, int_of_string v, md) rest
+    | "--markdown" :: p :: rest -> parse (out, before, check_path, tol, grid, retries, Some p) rest
+    | "--no-grid" :: rest -> parse (out, before, check_path, tol, false, retries, md) rest
     | a :: _ -> failwith (Printf.sprintf "unknown argument %S" a)
   in
-  let out, before_path, check_path, tolerance, grid =
-    parse ("BENCH_hotpath.json", None, None, 0.25, true) args
+  let out, before_path, check_path, tolerance, grid, retries, markdown =
+    parse ("BENCH_hotpath.json", None, None, 0.25, true, 0, None) args
   in
   match check_path with
-  | Some path -> check ~path ~tolerance
+  | Some path -> check ~path ~tolerance ~retries ~markdown
   | None ->
       let before, grid_before =
         match before_path with

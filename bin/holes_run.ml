@@ -46,10 +46,13 @@ let print_outcome (profile : Holes_workload.Profile.t) (cfg : Holes.Config.t) ~(
     Printf.printf "device:     %.0f writes, %.1f wear failures, %.1f up-calls per trial\n"
       o.Holes_exp.Runner.mean_device_writes o.Holes_exp.Runner.mean_device_failures
       o.Holes_exp.Runner.mean_upcalls;
+  if o.Holes_exp.Runner.mean_verify_passes > 0.0 then
+    Printf.printf "verifier:   %.1f clean passes per trial\n"
+      o.Holes_exp.Runner.mean_verify_passes;
   if o.Holes_exp.Runner.completed = o.Holes_exp.Runner.trials then 0 else 2
 
-let run list_benches bench collector line_size rate dist compensate arraylets backend endurance
-    heap scale seed trials jobs out trace stats verbose =
+let run list_benches bench collector line_size rate dist model compensate arraylets backend
+    endurance heap scale seed trials jobs out trace stats verify verbose =
   if list_benches then begin
     print_endline "available benchmark profiles:";
     List.iter
@@ -83,6 +86,14 @@ let run list_benches bench collector line_size rate dist compensate arraylets ba
               | Some lines when lines > 0 -> Holes.Config.Granule lines
               | _ -> failwith (Printf.sprintf "unknown distribution %S (uniform|1cl|2cl|<granule-lines>)" g))
         in
+        let failure_model =
+          match model with
+          | None -> Holes.Config.From_dist
+          | Some s -> (
+              match Holes_pcm.Failure_model.of_cli s with
+              | Ok spec -> Holes.Config.Model spec
+              | Error m -> failwith (Printf.sprintf "bad --model %S: %s" s m))
+        in
         let backend =
           match String.lowercase_ascii backend with
           | "static" -> Holes.Config.Static
@@ -109,6 +120,8 @@ let run list_benches bench collector line_size rate dist compensate arraylets ba
             nursery_copy = true;
             arraylets;
             backend;
+            failure_model;
+            verify;
             seed;
           }
         in
@@ -216,6 +229,14 @@ let cmd =
     Arg.(value & opt string "uniform"
          & info [ "dist"; "d" ] ~docv:"D" ~doc:"Failure distribution: uniform, 1cl, 2cl, or a granule size in 64B lines.")
   in
+  let model =
+    Arg.(value & opt (some string) None
+         & info [ "model"; "m" ] ~docv:"M"
+             ~doc:"Adversarial failure model replacing --dist: corr:CLUSTER[:REGION] \
+                   (spatially-correlated map), var:COV[:lognormal|gauss] (endurance \
+                   variation), storm:BURST:PERIOD (bursty dynamic failures every PERIOD \
+                   allocated bytes), adv:PERIOD (worst-case placement at the bump cursor).")
+  in
   let compensate =
     Arg.(value & opt bool true & info [ "compensate" ] ~docv:"BOOL" ~doc:"Heap compensation h/(1-f).")
   in
@@ -266,13 +287,19 @@ let cmd =
          & info [ "stats" ]
              ~doc:"Print pause, hole-search and failure-buffer occupancy histograms.")
   in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Run the paranoid heap verifier after every GC phase (expensive; results \
+                   are guaranteed bit-identical either way).")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print detailed metrics.") in
   let doc = "run one DaCapo-style workload on the failure-aware runtime" in
   Cmd.v
     (Cmd.info "holes-run" ~doc)
     Term.(
-      const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ compensate $ arraylets
-      $ backend $ endurance $ heap $ scale $ seed $ trials $ jobs $ out $ trace $ stats
-      $ verbose)
+      const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ model $ compensate
+      $ arraylets $ backend $ endurance $ heap $ scale $ seed $ trials $ jobs $ out $ trace
+      $ stats $ verify $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,13 @@ type failure_dist =
       (** proposed hardware: uniform failures moved to region ends, with
           the region size in pages (1 = 1CL, 2 = 2CL) *)
 
+(** Adversarial failure-model selection (DESIGN.md §10).  [From_dist]
+    keeps the paper's generators selected by [failure_dist]; [Model]
+    switches to one of the {!Holes_pcm.Failure_model} adversaries
+    (spatial correlation, endurance variation, failure storms, worst-case
+    placement). *)
+type failure_model = From_dist | Model of Holes_pcm.Failure_model.spec
+
 (** Parameters of the simulated PCM module behind the device backend. *)
 type device_params = {
   wear : Holes_pcm.Wear.params;  (** per-line endurance model *)
@@ -63,6 +70,13 @@ type t = {
           objects: no perfect pages needed, at an access-indirection
           cost *)
   backend : backend;  (** how heap pages are granted and failures arrive *)
+  failure_model : failure_model;
+      (** which adversary generates (and, for dynamic models, keeps
+          injecting) line failures *)
+  verify : bool;
+      (** run the paranoid heap verifier ([Verify]) after every GC phase;
+          expensive, and guaranteed not to change results — only the
+          (non-serialized) verifier pass counters *)
   seed : int;
 }
 
@@ -79,6 +93,8 @@ let default : t =
     nursery_copy = true;
     arraylets = false;
     backend = Static;
+    failure_model = From_dist;
+    verify = false;
     seed = 42;
   }
 
@@ -104,11 +120,20 @@ let name (t : t) : string =
     | Device d -> Printf.sprintf "%s-dev-e%.0f" base d.wear.Holes_pcm.Wear.mean_endurance
   in
   let line = Printf.sprintf "L%d" t.line_size in
-  if t.failure_rate = 0.0 then Printf.sprintf "%s-%s" base line
-  else
-    Printf.sprintf "%s-PCM-%s-%s-%.0f%%%s" base line (dist_name t.failure_dist)
-      (t.failure_rate *. 100.0)
-      (if t.compensate then "" else "-nocomp")
+  match t.failure_model with
+  | Model m ->
+      (* Adversarial models name themselves (the spec rendering includes
+         the parameters); the rate still matters for the static part. *)
+      Printf.sprintf "%s-PCM-%s-%s-%.0f%%%s" base line
+        (Holes_pcm.Failure_model.name m)
+        (t.failure_rate *. 100.0)
+        (if t.compensate then "" else "-nocomp")
+  | From_dist ->
+      if t.failure_rate = 0.0 then Printf.sprintf "%s-%s" base line
+      else
+        Printf.sprintf "%s-PCM-%s-%s-%.0f%%%s" base line (dist_name t.failure_dist)
+          (t.failure_rate *. 100.0)
+          (if t.compensate then "" else "-nocomp")
 
 let is_generational (c : collector) : bool =
   match c with Sticky_ms | Sticky_immix -> true | Mark_sweep | Immix -> false
@@ -123,11 +148,29 @@ let validate (t : t) : (unit, string) result =
     Error "failure rate must be in [0, 0.95]"
   else if t.heap_factor < 1.0 then Error "heap factor must be >= 1"
   else
-    match t.backend with
-    | Static -> Ok ()
-    | Device d ->
-        if not (is_immix t.collector) then
-          Error "the device backend requires a failure-aware Immix collector"
-        else if d.buffer_capacity <= 0 then Error "device buffer capacity must be positive"
-        else if d.dram_pages < 0 then Error "device dram_pages must be non-negative"
-        else Ok ()
+    let model_ok =
+      match t.failure_model with
+      | From_dist -> Ok ()
+      | Model m -> (
+          match Holes_pcm.Failure_model.validate m with
+          | Error e -> Error e
+          | Ok () ->
+              if Holes_pcm.Failure_model.is_dynamic m && not (is_immix t.collector) then
+                Error "dynamic failure models require a failure-aware Immix collector"
+              else if Holes_pcm.Failure_model.is_dynamic m && t.backend <> Static then
+                Error
+                  "dynamic failure models drive the static backend's injector; the device \
+                   backend generates its own dynamic failures through wear"
+              else Ok ())
+    in
+    match model_ok with
+    | Error _ as e -> e
+    | Ok () -> (
+        match t.backend with
+        | Static -> Ok ()
+        | Device d ->
+            if not (is_immix t.collector) then
+              Error "the device backend requires a failure-aware Immix collector"
+            else if d.buffer_capacity <= 0 then Error "device buffer capacity must be positive"
+            else if d.dram_pages < 0 then Error "device dram_pages must be non-negative"
+            else Ok ())

@@ -58,6 +58,10 @@ type t = {
   mutable defrag_requested : bool;
       (** defragment at the next full collection (Immix defragments on
           demand: set by allocation failures and dynamic failures) *)
+  mutable post_gc_check : unit -> unit;
+      (** paranoid-verifier hook, run at the end of every collection
+          (installed by [Vm] when [Config.verify] is set; [ignore]
+          otherwise, so the disabled cost is one closure call) *)
   tracer : Trace.view;  (** gc/alloc-lane events: phase spans, slow paths *)
 }
 
@@ -88,6 +92,7 @@ let create ?(tracer = Trace.null) ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics :
       nursery = Intvec.create ();
       want_full = false;
       defrag_requested = false;
+      post_gc_check = ignore;
       tracer;
     }
   in
@@ -196,7 +201,12 @@ let assemble_perfect_block (t : t) : int option =
           false
     end
   in
-  if not (take 0) then None else Some (install_block t ~pages)
+  if not (take 0) then None
+  else begin
+    let bi = install_block t ~pages in
+    (block t bi).Block.perfect_grant <- true;
+    Some bi
+  end
 
 (* Dissolve a completely free block, returning its pages to the stock. *)
 let dissolve_block (t : t) (b : Block.t) : unit =
@@ -595,7 +605,8 @@ let full_gc (t : t) : unit =
   if armed then
     Trace.end_span t.tracer ~tid:Trace.tid_gc "full_gc" ~args:[ ("pause_ns", pause) ];
   let live = Object_table.live_bytes t.objects in
-  if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live
+  if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live;
+  t.post_gc_check ()
 
 (** A nursery (sticky mark bits) collection: only objects allocated since
     the last collection are examined; survivors are opportunistically
@@ -655,7 +666,8 @@ let nursery_gc (t : t) : unit =
   if armed then
     Trace.end_span t.tracer ~tid:Trace.tid_gc "nursery_gc" ~args:[ ("pause_ns", pause) ];
   let live = Object_table.live_bytes t.objects in
-  if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live
+  if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live;
+  t.post_gc_check ()
 
 (* ------------------------------------------------------------------ *)
 (* Public mutator interface                                            *)
@@ -801,11 +813,33 @@ and dynamic_failure_in_block (t : t) ~(addr : int) ~(bi : int) ~(b : Block.t) : 
     (match block_opt t bi with
     | None -> ()
     | Some b -> (
-        if overlapping ~alive_only:true <> [] then begin
-          (* evacuation could not find space: the heap is full *)
-          t.metrics.Metrics.out_of_memory <- true;
-          raise Out_of_memory
-        end;
+        (* evacuation is opportunistic and leaves behind objects it
+           cannot place in imperfect memory (at 64 B lines every
+           multi-line object is "medium", and a long contiguous hole may
+           simply not exist).  A leftover is static fragmentation, not
+           garbage: relocate it through the perfect-block fallback, and
+           only if even that fails is the heap genuinely full. *)
+        let relocate_leftover (id : int) : unit =
+          let size = Object_table.size t.objects id in
+          let oa = Object_table.addr t.objects id in
+          match
+            match alloc_nogc t ~size with
+            | Some a -> Some a
+            | None -> alloc_medium_perfect t ~size
+          with
+          | None ->
+              t.metrics.Metrics.out_of_memory <- true;
+              t.metrics.Metrics.oom_request <- size;
+              raise Out_of_memory
+          | Some new_addr ->
+              Block.remove_object_lines b ~addr:oa ~size;
+              Object_table.relocate t.objects id ~new_addr;
+              Intvec.push (block_of_addr t new_addr).Block.objs id;
+              Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+              t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size;
+              t.metrics.Metrics.objects_evacuated <- t.metrics.Metrics.objects_evacuated + 1
+        in
+        List.iter relocate_leftover (overlapping ~alive_only:true);
         match Block.fail_line b ~line with
         | `Already_failed | `Was_free -> ()
         | `Was_live -> assert false));
@@ -856,6 +890,39 @@ let request_defrag (t : t) : unit = t.defrag_requested <- true
 let collect (t : t) ~(full : bool) : unit = if full then full_gc t else nursery_gc t
 
 let live_blocks (t : t) : int = t.nblocks
+
+(** Install the paranoid-verifier hook run at the end of every
+    collection (replaces the previous hook). *)
+let set_post_gc_check (t : t) (f : unit -> unit) : unit = t.post_gc_check <- f
+
+(** The heap address the bump allocator will hand out next, if a bump
+    run is open (main cursor first, then overflow) — the target of the
+    adversarial worst-case-placement failure model. *)
+let bump_target (t : t) : int option =
+  if t.cur_block >= 0 && t.cursor < t.limit then Some t.cursor
+  else if t.ovf_block >= 0 && t.ovf_cursor < t.ovf_limit then Some t.ovf_cursor
+  else None
+
+(** A uniformly drawn logical-line address within the assembled blocks
+    (a failure storm's victim), [None] when no block is assembled. *)
+let random_line_addr (t : t) (rng : Xrng.t) : int option =
+  if t.nblocks = 0 then None
+  else begin
+    let k = Xrng.int rng t.nblocks in
+    let found = ref None and seen = ref 0 in
+    (try
+       iter_blocks t (fun b ->
+           if !seen = k then begin
+             found := Some b;
+             raise Exit
+           end;
+           incr seen)
+     with Exit -> ());
+    Option.map
+      (fun (b : Block.t) ->
+        b.Block.base + (Xrng.int rng b.Block.nlines * b.Block.line_size))
+      !found
+  end
 
 (** Invariant checks (valid at any point, not just after a collection):
     no *live* object overlaps a failed line, and per-line live counts

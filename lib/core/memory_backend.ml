@@ -48,11 +48,17 @@ let lines_per_page = Pcm.Geometry.lines_per_page
    hardware clustering the device's own redirection maps move the
    failures to cluster ends, so [Hw_cluster] needs no transform here. *)
 let physical_failure_map (cfg : Config.t) ~(rng : Xrng.t) ~(nlines : int) : Bitset.t =
-  match cfg.Config.failure_dist with
-  | Config.Uniform | Config.Hw_cluster _ ->
-      Pcm.Failure_map.uniform rng ~nlines ~rate:cfg.Config.failure_rate
-  | Config.Granule g ->
-      Pcm.Failure_map.clustered rng ~nlines ~rate:cfg.Config.failure_rate ~granule_lines:g
+  match cfg.Config.failure_model with
+  | Config.Model m ->
+      (* dynamic models are rejected by Config.validate on this backend,
+         so this only sees the static adversaries *)
+      Pcm.Failure_model.static_map m rng ~nlines ~rate:cfg.Config.failure_rate
+  | Config.From_dist -> (
+      match cfg.Config.failure_dist with
+      | Config.Uniform | Config.Hw_cluster _ ->
+          Pcm.Failure_map.uniform rng ~nlines ~rate:cfg.Config.failure_rate
+      | Config.Granule g ->
+          Pcm.Failure_map.clustered rng ~nlines ~rate:cfg.Config.failure_rate ~granule_lines:g)
 
 (** Bring up the device → OS → process pipeline for a heap of [npages]
     pages: create the worn device, pre-install the configured boot-time

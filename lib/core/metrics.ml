@@ -36,6 +36,12 @@ type t = {
   mutable os_data_restores : int;  (** clustering re-backed the failing address *)
   mutable reverse_translations : int;
   mutable swap_ins : int;
+  (* paranoid heap verifier (Verify): pass/check counters.  Deliberately
+     NOT serialized by [to_fields] — JSONL records must be bit-identical
+     with the verifier on and off, and these are the only counters the
+     verifier is allowed to touch. *)
+  mutable verify_passes : int;  (** clean verifier runs *)
+  mutable verify_checks : int;  (** individual invariant checks performed *)
   (* always-on phase histograms (Obs.Stats): populated by the collector
      and the device write path regardless of tracing, so they are part of
      the deterministic outcome rather than an observability side channel *)
@@ -80,6 +86,8 @@ let create () : t =
     os_data_restores = 0;
     reverse_translations = 0;
     swap_ins = 0;
+    verify_passes = 0;
+    verify_checks = 0;
     pause_hist = Holes_obs.Stats.hist ();
     nursery_pause_hist = Holes_obs.Stats.hist ();
     hole_search_hist = Holes_obs.Stats.hist ();

@@ -17,6 +17,20 @@ exception Out_of_memory = Immix.Out_of_memory
 
 type space = Ix of Immix.t | Ms of Mark_sweep.t
 
+(** The dynamic-failure injector behind the [Storm] and [Adversarial]
+    failure models (static backend only; the device backend generates
+    its own failures through wear).  Failures are scheduled on the
+    allocation clock ([Metrics.bytes_allocated]) and staged through a
+    private failure buffer, modeling device-side buffer pressure:
+    bursts larger than the buffer stall until the OS drains, exactly
+    the overflow regime the Storm model exists to stress. *)
+type injector = {
+  spec : Holes_pcm.Failure_model.spec;
+  irng : Xrng.t;  (** split off the map rng: deterministic per seed *)
+  fbuf : Holes_pcm.Failure_buffer.t;
+  mutable next_at : int;  (** bytes_allocated threshold of the next event *)
+}
+
 type t = {
   cfg : Config.t;
   cost : Cost.t;
@@ -26,6 +40,7 @@ type t = {
   los : Los.t;
   space : space;
   backend : Memory_backend.t;
+  injector : injector option;  (** dynamic failure-model driver *)
   heap_pages : int;  (** pages granted (after compensation) *)
   arraylet_spines : (int, int list) Hashtbl.t;
       (** spine object id -> arraylet piece ids (Z-rays mode) *)
@@ -42,6 +57,12 @@ let lines_per_page = Holes_pcm.Geometry.lines_per_page
     Sec. 5, sitting between the OS allocator and the VM allocator). *)
 let generate_failure_map (cfg : Config.t) ~(rng : Xrng.t) ~(npages : int) : Bitset.t * int =
   let round_pages_to mult = (npages + mult - 1) / mult * mult in
+  match cfg.Config.failure_model with
+  | Config.Model m ->
+      let nlines = npages * lines_per_page in
+      ( Holes_pcm.Failure_model.static_map m rng ~nlines ~rate:cfg.Config.failure_rate,
+        npages )
+  | Config.From_dist -> (
   match cfg.Config.failure_dist with
   | Config.Uniform ->
       let nlines = npages * lines_per_page in
@@ -56,7 +77,7 @@ let generate_failure_map (cfg : Config.t) ~(rng : Xrng.t) ~(npages : int) : Bits
       let pages = round_pages_to region_pages in
       let nlines = pages * lines_per_page in
       let base = Holes_pcm.Failure_map.uniform rng ~nlines ~rate:cfg.Config.failure_rate in
-      (Holes_pcm.Failure_map.cluster_transform base ~region_pages, pages)
+      (Holes_pcm.Failure_map.cluster_transform base ~region_pages, pages))
 
 (** Trigger a collection explicitly. *)
 let collect (t : t) ~(full : bool) : unit =
@@ -167,6 +188,75 @@ let charge_device_writes (t : t) ~(id : int) : unit =
         incr i
       done
 
+(** Run the paranoid heap verifier over the whole VM: blocks, cursors,
+    LOS, page stock, accounting, device/OS agreement and failure
+    buffers (see {!Verify}).  Valid at any point; free of side effects
+    beyond the non-serialized [verify_*] counters. *)
+let verify (t : t) : Verify.report =
+  Verify.run ~metrics:t.metrics ~objects:t.objects ~stock:t.stock ~los:t.los
+    ~immix:(match t.space with Ix s -> Some s | Ms _ -> None)
+    ~backend:t.backend
+    ?fbuf:(Option.map (fun inj -> inj.fbuf) t.injector)
+    ()
+
+(* ---- the dynamic failure-model injector (Storm / Adversarial) ---- *)
+
+(* OS response: drain the staged failures oldest-first, retiring each
+   line through the collector's dynamic-failure machinery (which may
+   collect, evacuate, or raise Out_of_memory — a legitimate outcome). *)
+let drain_injector (t : t) (inj : injector) : unit =
+  let rec go () =
+    match Holes_pcm.Failure_buffer.peek inj.fbuf with
+    | None -> ()
+    | Some e ->
+        let addr = e.Holes_pcm.Failure_buffer.addr in
+        ignore (Holes_pcm.Failure_buffer.clear inj.fbuf ~addr);
+        (match t.space with Ix s -> Immix.dynamic_failure s ~addr | Ms _ -> ());
+        go ()
+  in
+  go ()
+
+(* One scheduled event: a burst of line failures (Storm: geometric
+   size; Adversarial: exactly the line under the bump cursor).  Each
+   failing line is staged in the private failure buffer first — when
+   the buffer is full the device stalls and the OS must drain before
+   the next failure can be recorded — then the whole burst is drained. *)
+let inject_event (t : t) (s : Immix.t) (inj : injector) : unit =
+  let n = Holes_pcm.Failure_model.burst_size inj.spec inj.irng in
+  let payload = Bytes.create 8 in
+  for _ = 1 to n do
+    let victim =
+      match inj.spec with
+      | Holes_pcm.Failure_model.Adversarial _ -> (
+          match Immix.bump_target s with
+          | Some addr -> Some addr
+          | None -> Immix.random_line_addr s inj.irng)
+      | _ -> Immix.random_line_addr s inj.irng
+    in
+    match victim with
+    | None -> ()
+    | Some addr ->
+        Bytes.set_int64_le payload 0 (Int64.of_int addr);
+        if not (Holes_pcm.Failure_buffer.insert inj.fbuf ~addr ~data:payload) then begin
+          drain_injector t inj;
+          ignore (Holes_pcm.Failure_buffer.insert inj.fbuf ~addr ~data:payload)
+        end
+  done;
+  drain_injector t inj
+
+(* Fire every event whose allocation-clock deadline has passed (called
+   after each mutator allocation; never re-enters itself because the
+   collector allocates through its own internal paths). *)
+let service_injector (t : t) : unit =
+  match (t.injector, t.space) with
+  | None, _ | _, Ms _ -> ()
+  | Some inj, Ix s ->
+      while t.metrics.Metrics.bytes_allocated >= inj.next_at do
+        inject_event t s inj;
+        inj.next_at <-
+          inj.next_at + Holes_pcm.Failure_model.next_interval inj.spec inj.irng
+      done
+
 (** Create a VM with a heap of [heap_factor × min_heap_bytes] usable
     bytes (compensated for the failure rate when configured).
     [device_map] overrides the generated failure map (used by the
@@ -190,7 +280,7 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
      are deterministic and independent of host speed or -j parallelism *)
   Trace.set_clock tracer (fun () -> Cost.total_ns cost);
   let metrics = Metrics.create () in
-  let backend, stock, heap_pages =
+  let backend, stock, heap_pages, injector =
     match cfg.Config.backend with
     | Config.Static ->
         let rng = Xrng.of_seed cfg.Config.seed in
@@ -202,7 +292,20 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
         let stock =
           Page_stock.create ~line_size:cfg.Config.line_size ~device_map ~npages:heap_pages ()
         in
-        (Memory_backend.Static, stock, heap_pages)
+        let injector =
+          match cfg.Config.failure_model with
+          | Config.Model m when Holes_pcm.Failure_model.is_dynamic m ->
+              let irng = Xrng.split rng in
+              Some
+                {
+                  spec = m;
+                  irng;
+                  fbuf = Holes_pcm.Failure_buffer.create ();
+                  next_at = Holes_pcm.Failure_model.next_interval m irng;
+                }
+          | Config.Model _ | Config.From_dist -> None
+        in
+        (Memory_backend.Static, stock, heap_pages, injector)
     | Config.Device params ->
         if device_map <> None then
           invalid_arg "Vm.create: device_map overrides apply to the static backend only";
@@ -210,7 +313,7 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
           Memory_backend.create_device ~tracer ~cfg ~params ~metrics ~npages:pages ()
         in
         let stock = Page_stock.create_of_bitmaps ~line_size:cfg.Config.line_size ~bitmaps () in
-        (Memory_backend.Device st, stock, Array.length bitmaps)
+        (Memory_backend.Device st, stock, Array.length bitmaps, None)
   in
   let objects = Object_table.create () in
   let los = Los.create ~stock ~cost ~metrics in
@@ -220,7 +323,7 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
     else Ms (Mark_sweep.create ~cfg ~cost ~metrics ~stock ~objects ~los)
   in
   let t =
-    { cfg; cost; metrics; objects; stock; los; space; backend; heap_pages;
+    { cfg; cost; metrics; objects; stock; los; space; backend; injector; heap_pages;
       arraylet_spines = Hashtbl.create 64; tracer }
   in
   (match backend with
@@ -228,6 +331,10 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
   | Memory_backend.Device st ->
       st.Memory_backend.line_retired <-
         (fun ~stock_page ~line ~data -> handle_line_retired t ~stock_page ~line ~data));
+  if cfg.Config.verify then
+    (match space with
+    | Ix s -> Immix.set_post_gc_check s (fun () -> Verify.raise_on_errors (verify t))
+    | Ms _ -> ());
   t
 
 let cfg (t : t) : Config.t = t.cfg
@@ -289,18 +396,22 @@ let alloc (t : t) ?(pinned = false) ~(size : int) () : int =
   let asize = Units.aligned_size size in
   t.metrics.Metrics.objects_allocated <- t.metrics.Metrics.objects_allocated + 1;
   t.metrics.Metrics.bytes_allocated <- t.metrics.Metrics.bytes_allocated + asize;
-  if asize > Units.los_threshold && t.cfg.Config.arraylets then
-    alloc_arraylets t ~size:asize ~pinned
-  else if asize > Units.los_threshold then begin
-    let addr = alloc_los t ~size:asize in
-    let id = Object_table.alloc t.objects ~addr ~size:asize ~pinned ~los:true in
-    (match t.space with
-    | Ix s -> Immix.register s ~id ~addr
-    | Ms s -> Mark_sweep.register s ~id);
-    charge_device_writes t ~id;
-    id
-  end
-  else alloc_in_space t ~size:asize ~pinned
+  let id =
+    if asize > Units.los_threshold && t.cfg.Config.arraylets then
+      alloc_arraylets t ~size:asize ~pinned
+    else if asize > Units.los_threshold then begin
+      let addr = alloc_los t ~size:asize in
+      let id = Object_table.alloc t.objects ~addr ~size:asize ~pinned ~los:true in
+      (match t.space with
+      | Ix s -> Immix.register s ~id ~addr
+      | Ms s -> Mark_sweep.register s ~id);
+      charge_device_writes t ~id;
+      id
+    end
+    else alloc_in_space t ~size:asize ~pinned
+  in
+  service_injector t;
+  id
 
 (** Store a reference from [src] to [dst] (fires the write barrier).
     On the device backend the pointer store itself is a 64 B line write
@@ -367,7 +478,15 @@ let device_state (t : t) : Memory_backend.device_state option =
     static backend).  Call at run end, before reading metrics. *)
 let sync_backend_stats (t : t) : unit =
   match t.backend with
-  | Memory_backend.Static -> ()
+  | Memory_backend.Static -> (
+      (* the injector's private failure buffer plays the device's role
+         under the Storm/Adversarial models: publish its pressure *)
+      match t.injector with
+      | None -> ()
+      | Some inj ->
+          let st = Holes_pcm.Failure_buffer.stats inj.fbuf in
+          t.metrics.Metrics.fbuf_peak_occupancy <- st.Holes_pcm.Failure_buffer.max_occupancy;
+          t.metrics.Metrics.fbuf_stall_events <- st.Holes_pcm.Failure_buffer.stall_events)
   | Memory_backend.Device st -> Memory_backend.sync st
 
 (** Post-collection heap invariants (valid immediately after a full

@@ -344,6 +344,41 @@ let headline ?(params = Runner.quick) () : Table.t =
   Table.add_row t [ "2-page clustering"; over (Cfg.Hw_cluster 2) 0.10; over (Cfg.Hw_cluster 2) 0.50 ];
   t
 
+(** Sensitivity of the failure-tolerance overhead to spatial correlation:
+    geomean overhead under the {!Holes_pcm.Failure_model.Correlated}
+    model as its mean cluster size sweeps 1 (uniform-like) to 16 lines,
+    at 10% and 50% failed lines.  The paper's hardware clusters failures
+    within a region; this sweep shows how much of the tolerance story
+    depends on that clustering actually happening. *)
+let sensitivity ?(params = Runner.quick) () : Table.t =
+  let t =
+    Table.create
+      ~title:"Sensitivity — geomean overhead vs mean failure-cluster size (S-IX, 2x heap)"
+      ~headers:[ "mean cluster (64 B lines)"; "10% failures"; "50% failures" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ] ()
+  in
+  let clusters = [ 1.0; 2.0; 4.0; 8.0; 16.0 ] in
+  let cell_cfg mc f =
+    {
+      base_six with
+      Cfg.failure_rate = f;
+      failure_model =
+        Cfg.Model
+          (Holes_pcm.Failure_model.Correlated { mean_cluster = mc; region_lines = 64 });
+    }
+  in
+  prefetch ~params
+    (base_six :: List.concat_map (fun mc -> List.map (cell_cfg mc) [ 0.10; 0.50 ]) clusters);
+  let over mc f =
+    match geo ~params ~cfg:(cell_cfg mc f) ~base:base_six suite with
+    | None -> "DNF"
+    | Some r -> Printf.sprintf "%+.1f%%" ((r -. 1.0) *. 100.0)
+  in
+  List.iter
+    (fun mc -> Table.add_row t [ Printf.sprintf "%.0f" mc; over mc 0.10; over mc 0.50 ])
+    clusters;
+  t
+
 (** Design-choice ablations (DESIGN.md §5): the Z-rays alternative to
     perfect-page large objects (paper Sec. 3.3.3), opportunistic nursery
     copying, and on-demand defragmentation. *)

@@ -53,6 +53,8 @@ type outcome = {
   mean_os_page_copies : float;  (** failure-unaware fallback resolutions *)
   mean_os_data_restores : float;  (** clustering re-backed the failing line *)
   mean_fbuf_stalls : float;  (** device stall events per trial *)
+  mean_verify_passes : float;
+      (** clean paranoid-verifier runs per trial (0 unless [Config.verify]) *)
   pause_hist : Ostats.hist;  (** full-GC pauses (ns) pooled over completed trials *)
 }
 
@@ -88,10 +90,23 @@ let tracer : Otrace.t option ref = ref None
 let set_tracer (t : Otrace.t option) : unit = tracer := t
 let current_tracer () : Otrace.t option = !tracer
 
+(* verifier override: when set ([--verify] in bench/bin), every trial
+   runs with the paranoid heap verifier on regardless of per-config
+   settings.  Changes no serialized result — only the non-serialized
+   verify counters and wall-clock.  Set before trials start; worker
+   domains read it but never write it. *)
+let verify_all : bool ref = ref false
+
+let set_verify (b : bool) : unit = verify_all := b
+
 let cache_key (cfg : Holes.Config.t) (profile : Holes_workload.Profile.t) (p : params) : string =
-  Printf.sprintf "%s|h%.3f|d%b|n%b|%s|s%.4f|n%d|seed%d" (Holes.Config.name cfg)
+  (* [verify] changes no serialized result, but the verify_passes means
+     must not be served from a verifier-off memo entry (or vice versa) *)
+  Printf.sprintf "%s|h%.3f|d%b|n%b|v%b|%s|s%.4f|n%d|seed%d" (Holes.Config.name cfg)
     cfg.Holes.Config.heap_factor cfg.Holes.Config.defrag cfg.Holes.Config.nursery_copy
-    profile.Holes_workload.Profile.name p.scale p.seeds cfg.Holes.Config.seed
+    (cfg.Holes.Config.verify || !verify_all)
+    profile.Holes_workload.Profile.name p.scale p.seeds
+    cfg.Holes.Config.seed
 
 type raw_trial = {
   r_completed : bool;
@@ -103,7 +118,13 @@ type raw_trial = {
 
 let run_trial ?(tracer = Otrace.null) ~(cfg : Holes.Config.t)
     ~(profile : Holes_workload.Profile.t) ~(scale : float) ~(seed : int) () : raw_trial =
-  let cfg = { cfg with Holes.Config.seed } in
+  let cfg =
+    {
+      cfg with
+      Holes.Config.seed;
+      verify = cfg.Holes.Config.verify || !verify_all;
+    }
+  in
   let profile = Holes_workload.Profile.scaled profile scale in
   let vm =
     Holes.Vm.create ~cfg ~tracer ~min_heap_bytes:(Holes_workload.Profile.min_heap profile) ()
@@ -192,6 +213,8 @@ let outcome_of_trials ~(cfg : Holes.Config.t) ~(profile : Holes_workload.Profile
       meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.os_data_restores);
     mean_fbuf_stalls =
       meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.fbuf_stall_events);
+    mean_verify_passes =
+      meanf (fun t -> float_of_int t.r_metrics.Holes.Metrics.verify_passes);
     pause_hist =
       Ostats.merged (List.map (fun t -> t.r_metrics.Holes.Metrics.pause_hist) done_);
   }

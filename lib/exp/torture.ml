@@ -1,0 +1,225 @@
+(** Seeded torture schedules for the failure-aware collector.
+
+    Each seed deterministically selects a configuration (collector,
+    line size, failure rate, failure model, backend) and a fuzz
+    schedule that interleaves mutator work (allocation, deaths,
+    reference stores), dynamic failure injection, forced collections
+    and explicit runs of the paranoid heap verifier ({!Holes.Verify}).
+    The VM is created with [verify = true], so the verifier also runs
+    after every GC phase.
+
+    Outcomes distinguish three cases: a clean run, a run that
+    legitimately exhausted the heap (torture heaps are small; OOM is an
+    expected outcome, not a bug), and an invariant violation.  For a
+    violation the caller can print {!repro_command}, which re-runs
+    exactly that seed and schedule.
+
+    Used by [bin/torture.exe], the CI torture job, and
+    [test/test_verify.ml]. *)
+
+open Holes_stdx
+module Cfg = Holes.Config
+module Vm = Holes.Vm
+module Verify = Holes.Verify
+module Metrics = Holes.Metrics
+module Fm = Holes_pcm.Failure_model
+
+type outcome = {
+  seed : int;
+  config : string;  (** [Config.name] of the seed-selected configuration *)
+  steps_run : int;
+  allocs : int;
+  injections : int;  (** direct dynamic-failure strikes on live objects *)
+  gcs : int;  (** nursery + full collections *)
+  explicit_verifies : int;  (** verifier runs outside the post-GC hook *)
+  verify_passes : int;  (** clean verifier runs, including post-GC hooks *)
+  verify_checks : int;  (** individual invariant checks performed *)
+  completed : bool;  (** [false]: the schedule ran the heap out of memory *)
+  violation : string option;  (** an invariant violation or unexpected exception *)
+}
+
+let default_steps = 1200
+
+(* Torture heaps are deliberately tiny so that schedules reach GC,
+   evacuation, overflow and perfect-block fallback within ~1k steps. *)
+let min_heap_bytes = 256 * 1024
+
+let repro_command ~(seed : int) ~(steps : int) : string =
+  if steps = default_steps then
+    Printf.sprintf "dune exec bin/torture.exe -- --seeds %d" seed
+  else Printf.sprintf "dune exec bin/torture.exe -- --seeds %d --steps %d" seed steps
+
+(** The configuration exercised by [seed].  Purely a function of the
+    seed: the 0..99 CI bucket sweeps collectors, line sizes, rates and
+    every failure model, including the device backend's wear chain. *)
+let config_of_seed (seed : int) : Cfg.t =
+  let rng = Xrng.of_seed (0x70AC + (seed * 0x9E3779B9)) in
+  let collector = if Xrng.int rng 4 = 0 then Cfg.Immix else Cfg.Sticky_immix in
+  let line_size = [| 64; 128; 256 |].(Xrng.int rng 3) in
+  let failure_rate = [| 0.10; 0.25; 0.50 |].(Xrng.int rng 3) in
+  let arraylets = Xrng.int rng 5 = 0 in
+  let heap_factor = 1.6 +. (0.2 *. float_of_int (Xrng.int rng 8)) in
+  (* one seed in eight runs the full device -> OS -> runtime wear
+     pipeline; dynamic models are injector-driven and Static-only, so
+     the device seeds fall back to the paper's distributions *)
+  let device = seed mod 8 = 7 in
+  let backend = if device then Cfg.Device Cfg.default_device else Cfg.Static in
+  let failure_model =
+    if device then Cfg.From_dist
+    else
+      match Xrng.int rng 8 with
+      | 0 -> Cfg.From_dist (* uniform *)
+      | 1 -> Cfg.From_dist
+      | 2 ->
+          Cfg.Model
+            (Fm.Correlated
+               { mean_cluster = float_of_int (2 + Xrng.int rng 6); region_lines = 64 })
+      | 3 ->
+          Cfg.Model
+            (Fm.Variation
+               {
+                 cov = 0.2 +. (0.1 *. float_of_int (Xrng.int rng 3));
+                 shape = (if Xrng.int rng 2 = 0 then Holes_pcm.Wear.Lognormal else Holes_pcm.Wear.Gaussian);
+               })
+      | 4 | 5 ->
+          Cfg.Model
+            (Fm.Storm
+               {
+                 mean_burst = float_of_int (2 + Xrng.int rng 6);
+                 period_bytes = 32768 + Xrng.int rng 32768;
+               })
+      | _ -> Cfg.Model (Fm.Adversarial { period_bytes = 16384 + Xrng.int rng 16384 })
+  in
+  let failure_dist =
+    match Xrng.int rng 4 with
+    | 0 -> Cfg.Granule 4
+    | 1 -> Cfg.Hw_cluster 1
+    | _ -> Cfg.Uniform
+  in
+  {
+    Cfg.default with
+    Cfg.collector;
+    line_size;
+    failure_rate;
+    failure_dist;
+    arraylets;
+    heap_factor;
+    backend;
+    failure_model;
+    verify = true;
+    seed = 0xBEEF + seed;
+  }
+
+let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
+  let cfg = config_of_seed seed in
+  let rng = Xrng.of_seed (0x5EED + (seed * 0x61C88647)) in
+  let vm = Vm.create ~cfg ~min_heap_bytes () in
+  let static = match cfg.Cfg.backend with Cfg.Static -> true | Cfg.Device _ -> false in
+  (* live set with O(1) random removal (swap with the last slot) *)
+  let live = Array.make 8192 0 in
+  let nlive = ref 0 in
+  let push id =
+    if !nlive = Array.length live then begin
+      let i = Xrng.int rng !nlive in
+      decr nlive;
+      Vm.kill vm live.(i);
+      live.(i) <- live.(!nlive)
+    end;
+    live.(!nlive) <- id;
+    incr nlive
+  in
+  let remove i =
+    let id = live.(i) in
+    decr nlive;
+    live.(i) <- live.(!nlive);
+    id
+  in
+  (* Large objects live on perfect pages (or borrowed DRAM), which a
+     tiny torture heap exhausts fast; cap the live large set so the
+     schedule exercises LOS churn rather than OOMing at once. *)
+  let larges = ref [] in
+  let push_large id =
+    larges := id :: !larges;
+    match !larges with
+    | _ :: _ :: oldest :: _ ->
+        Vm.kill vm oldest;
+        larges := List.filteri (fun i _ -> i < 2) !larges
+    | _ -> ()
+  in
+  let allocs = ref 0 in
+  let injections = ref 0 in
+  let explicit_verifies = ref 0 in
+  let steps_run = ref 0 in
+  let completed = ref true in
+  let violation = ref None in
+  let verify_now () =
+    incr explicit_verifies;
+    Verify.raise_on_errors (Vm.verify vm)
+  in
+  (* Out_of_memory ends the schedule (legitimately: the heap is tiny);
+     Verify.Violation and anything else unexpected is a finding. *)
+  (try
+     let i = ref 0 in
+     while !i < steps do
+       incr i;
+       incr steps_run;
+       let r0 = Xrng.int rng 100 in
+       if Sys.getenv_opt "HOLES_TORTURE_DEBUG" <> None then
+         Printf.eprintf "step %d r=%d nlive=%d\n%!" !i r0 !nlive;
+       (match r0 with
+       | r when r < 45 ->
+           let size =
+             match Xrng.int rng 100 with
+             | s when s < 70 -> 16 + Xrng.int rng 288
+             | s when s < 96 -> Xrng.range rng 320 4096
+             | _ -> Xrng.range rng 8300 20000
+           in
+           let pinned = Xrng.int rng 20 = 0 in
+           incr allocs;
+           let id = Vm.alloc vm ~pinned ~size () in
+           if size > Holes_heap.Units.los_threshold then push_large id else push id
+       | r when r < 75 -> if !nlive > 0 then Vm.kill vm (remove (Xrng.int rng !nlive))
+       | r when r < 85 ->
+           if !nlive >= 2 then
+             let src = live.(Xrng.int rng !nlive) in
+             let dst = live.(Xrng.int rng !nlive) in
+             Vm.write_ref vm ~src ~dst
+       | r when r < 91 ->
+           if static && !nlive > 0 then begin
+             incr injections;
+             Vm.dynamic_failure vm ~id:live.(Xrng.int rng !nlive)
+           end
+       | r when r < 96 -> Vm.collect vm ~full:(Xrng.int rng 4 = 0)
+       | _ -> verify_now ());
+       if Sys.getenv_opt "HOLES_TORTURE_DEBUG" <> None then verify_now ();
+       if !i mod 128 = 0 then verify_now ()
+     done;
+     verify_now ()
+   with
+  | Vm.Out_of_memory -> (
+      if Sys.getenv_opt "HOLES_DEBUG_OOM" <> None then
+        Printf.eprintf "OOM backtrace:\n%s\n%!" (Printexc.get_backtrace ());
+      completed := false;
+      (* the heap must still be consistent after an aborted request *)
+      try verify_now ()
+      with Verify.Violation msg -> violation := Some ("after OOM: " ^ msg))
+  | Verify.Violation msg ->
+      if Sys.getenv_opt "HOLES_TORTURE_DEBUG" <> None then
+        Printf.eprintf "violation backtrace:\n%s\n%!" (Printexc.get_backtrace ());
+      violation := Some msg
+  | exn -> violation := Some ("unexpected exception: " ^ Printexc.to_string exn));
+  Vm.sync_backend_stats vm;
+  let m = Vm.metrics vm in
+  {
+    seed;
+    config = Cfg.name cfg;
+    steps_run = !steps_run;
+    allocs = !allocs;
+    injections = !injections;
+    gcs = m.Metrics.full_gcs + m.Metrics.nursery_gcs;
+    explicit_verifies = !explicit_verifies;
+    verify_passes = m.Metrics.verify_passes;
+    verify_checks = m.Metrics.verify_checks;
+    completed = !completed;
+    violation = !violation;
+  }

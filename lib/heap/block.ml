@@ -42,6 +42,11 @@ type t = {
           line) resets it to [free_lines]. *)
   mutable recyclable : bool;  (** queued on the allocator's recycled list *)
   mutable evacuate : bool;  (** selected for defragmentation / dynamic failure *)
+  mutable perfect_grant : bool;
+      (** assembled from a perfect-page grant (overflow / perfect-block
+          fallback): the block had no failed lines when built — though a
+          later dynamic failure may legitimately puncture it.  The heap
+          verifier uses this to check fussy placement. *)
 }
 
 let pcm_line = Holes_pcm.Geometry.line_bytes
@@ -94,6 +99,7 @@ let create ~(index : int) ~(base : int) ~(line_size : int) ~(pages : int array)
     hole_bound = nlines - nfailed;
     recyclable = false;
     evacuate = false;
+    perfect_grant = false;
   }
 
 let line_state (t : t) (l : int) : line_state =

@@ -37,6 +37,10 @@ type t = {
   accounting : Holes_osal.Accounting.t;
   mutable borrowed_in_use : int;
   mutable repaid_pages : int;  (** pages surrendered to repay debt *)
+  mutable repaid : int list;
+      (** ids of the surrendered pages: back with the OS, out of
+          circulation for the rest of the run (the verifier accounts
+          for them as a fourth page-ownership class) *)
   mutable max_borrowed : int;  (** DRAM borrow cap (DRAM is scarce, Sec. 2.3) *)
   mutable extra_free_bytes : unit -> int;
       (** free bytes held outside the stock (e.g. inside partially used
@@ -95,6 +99,7 @@ let create_of_bitmaps ?(line_size = Holes_pcm.Geometry.line_bytes)
     accounting = Holes_osal.Accounting.create ();
     borrowed_in_use = 0;
     repaid_pages = 0;
+    repaid = [];
     max_borrowed = max 16 npages;
     extra_free_bytes = (fun () -> 0);
   }
@@ -161,6 +166,7 @@ let rec take_relaxed (t : t) : int option =
           | `Keep -> Some p
           | `Decline ->
               t.repaid_pages <- t.repaid_pages + 1;
+              t.repaid <- p :: t.repaid;
               take_relaxed t))
 
 type perfect_grant = Perfect of int | Borrowed | Exhausted

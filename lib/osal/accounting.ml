@@ -20,17 +20,30 @@ type t = {
   mutable total_repaid : int;
   mutable perfect_requests : int;  (** fussy requests for a perfect page *)
   mutable perfect_satisfied : int;  (** served from an actual perfect page *)
+  mutable total_closed : int;
+      (** loans closed by returning the borrowed page itself (neither
+          repaid nor outstanding — the third leg of the debit–credit
+          balance [total_borrowed = debt + total_repaid + total_closed],
+          which the heap verifier asserts) *)
 }
 
 let create () : t =
-  { debt = 0; total_borrowed = 0; total_repaid = 0; perfect_requests = 0; perfect_satisfied = 0 }
+  {
+    debt = 0;
+    total_borrowed = 0;
+    total_repaid = 0;
+    perfect_requests = 0;
+    perfect_satisfied = 0;
+    total_closed = 0;
+  }
 
 let reset (t : t) : unit =
   t.debt <- 0;
   t.total_borrowed <- 0;
   t.total_repaid <- 0;
   t.perfect_requests <- 0;
-  t.perfect_satisfied <- 0
+  t.perfect_satisfied <- 0;
+  t.total_closed <- 0
 
 (** A fussy allocator requests [pages] perfect pages; [available] says how
     many real perfect pages the OS could supply.  The shortfall is
@@ -57,7 +70,11 @@ let relaxed_offer_perfect (t : t) : [ `Keep | `Decline ] =
 
 (** A borrowed DRAM page was returned before the relaxed allocator
     repaid it: the loan closes and the outstanding debt shrinks. *)
-let loan_closed (t : t) : unit = if t.debt > 0 then t.debt <- t.debt - 1
+let loan_closed (t : t) : unit =
+  if t.debt > 0 then begin
+    t.debt <- t.debt - 1;
+    t.total_closed <- t.total_closed + 1
+  end
 
 let debt (t : t) : int = t.debt
 
@@ -68,3 +85,5 @@ let total_repaid (t : t) : int = t.total_repaid
 let perfect_requests (t : t) : int = t.perfect_requests
 
 let perfect_satisfied (t : t) : int = t.perfect_satisfied
+
+let total_closed (t : t) : int = t.total_closed

@@ -71,3 +71,37 @@ let write (rng : Holes_stdx.Xrng.t) (p : params) (l : line) : write_outcome =
 let ecp_utilization (p : params) (l : line) : float =
   if p.ecp_entries = 0 then if l.failed then 1.0 else 0.0
   else float_of_int l.ecp_used /. float_of_int p.ecp_entries
+
+(** {2 Endurance variation shapes}
+
+    The paper models process variation as lognormal endurance; SoftWear-style
+    weak-cell studies use a (truncated) Gaussian instead.  Both are exposed
+    here parameterized by the coefficient of variation (CoV = sigma/mean) so
+    failure models can be specified in distribution-independent terms. *)
+
+type shape =
+  | Lognormal  (** the paper's model: multiplicative process variation *)
+  | Gaussian  (** additive weak-cell variation, truncated at (almost) zero *)
+
+(** Lognormal shape parameter whose distribution has the given CoV:
+    CoV² = exp(sigma²) − 1, so sigma = sqrt(log(1 + CoV²)). *)
+let lognormal_sigma ~(cov : float) : float =
+  if cov < 0.0 then invalid_arg "Wear.lognormal_sigma: negative CoV";
+  sqrt (log (1.0 +. (cov *. cov)))
+
+(** [draw_factor rng ~shape ~cov] draws a mean-1 endurance scale factor
+    with coefficient of variation [cov].  Lognormal uses
+    mu = −sigma²/2 so the arithmetic mean is exactly 1; Gaussian draws
+    N(1, cov) truncated just above zero (a cell cannot have negative
+    endurance — the truncation is negligible for CoV ≲ 0.3). *)
+let draw_factor (rng : Holes_stdx.Xrng.t) ~(shape : shape) ~(cov : float) : float =
+  match shape with
+  | Lognormal ->
+      let sigma = lognormal_sigma ~cov in
+      Holes_stdx.Dist.lognormal rng ~mu:(-.(sigma *. sigma) /. 2.0) ~sigma
+  | Gaussian -> Float.max 1e-6 (Holes_stdx.Dist.normal rng ~mu:1.0 ~sigma:cov)
+
+(** Wear parameters whose lognormal endurance draw has the given CoV
+    (keeps [base]'s mean and ECP settings). *)
+let params_of_cov ?(base = default_params) ~(cov : float) () : params =
+  { base with sigma = lognormal_sigma ~cov }

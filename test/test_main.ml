@@ -16,6 +16,8 @@ let () =
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("hotpath", Test_hotpath.suite);
+      ("failure_model", Test_failure_model.suite);
+      ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);
       ("backend", Test_backend.suite);
     ]
