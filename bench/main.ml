@@ -20,7 +20,8 @@
      main.exe headline        the Sec. 8 headline overheads
      main.exe wearlevel       the Sec. 7.2 wear-leveling ablation
      main.exe wearlife        device-backend wear-lifetime sweep
-     main.exe figures-quick   reduced CI grid (fig4 + headline)
+     main.exe figures-quick   reduced CI grid (fig4 + headline +
+                              wearlevel, the last to its own sink file)
      main.exe speedup         wall-clock of the quick grid, -j 1 vs -j max
      main.exe micro           Bechamel microbenchmarks (one per
                               operation family underlying the figures) *)
@@ -43,7 +44,7 @@ let figures : (string * (params:Holes_exp.Runner.params -> Holes_stdx.Table.t)) 
     ("pauses", fun ~params -> Holes_exp.Figures.pauses ~params ());
     ("headline", fun ~params -> Holes_exp.Figures.headline ~params ());
     ("sensitivity", fun ~params -> Holes_exp.Figures.sensitivity ~params ());
-    ("wearlevel", fun ~params -> Holes_exp.Wear_ablation.table ~params ());
+    ("wearlevel", fun ~params -> Holes_exp.Wear_policies.table ~params ());
     ("wearlife", fun ~params -> Holes_exp.Wear_lifetime.table ~params ());
     ("ablation", fun ~params -> Holes_exp.Figures.ablation ~params ());
   ]
@@ -178,9 +179,33 @@ let run_micro () =
 
 let quick_grid_params ~jobs = { Holes_exp.Runner.scale = 0.1; seeds = 2; jobs }
 
-let run_quick_grid ~params =
+(* The wearlevel ablation joined the CI grid with the translation
+   pipeline; its trials stream to a *separate* sink file
+   (results-wearlevel.jsonl next to --out) so the long-standing
+   results.jsonl stream stays record-for-record comparable across
+   releases. *)
+let run_quick_grid ~params ~out =
   Holes_stdx.Table.print (Holes_exp.Figures.fig4 ~params ());
-  Holes_stdx.Table.print (Holes_exp.Figures.headline ~params ())
+  Holes_stdx.Table.print (Holes_exp.Figures.headline ~params ());
+  let saved = Holes_exp.Runner.current_sink () in
+  let wl_path =
+    Option.map
+      (fun p ->
+        let ext = Filename.extension p in
+        Filename.remove_extension p ^ "-wearlevel" ^ ext)
+      out
+  in
+  let wl_sink =
+    if wl_path <> None || params.Holes_exp.Runner.jobs > 1 then
+      Some (Holes_engine.Sink.create ?path:wl_path ())
+    else None
+  in
+  Holes_exp.Runner.set_sink wl_sink;
+  Fun.protect
+    ~finally:(fun () ->
+      (match wl_sink with Some s -> Holes_engine.Sink.close s | None -> ());
+      Holes_exp.Runner.set_sink saved)
+    (fun () -> Holes_stdx.Table.print (Holes_exp.Wear_policies.table ~params ()))
 
 (* `speedup`: measure the parallelism win instead of asserting it — the
    same reduced grid, wall-clocked at -j 1 and -j max from a cold memo
@@ -265,6 +290,6 @@ let () =
           List.iter (fun (n, _) -> print_one n) figures;
           run_micro ()
       | [ "micro" ] -> run_micro ()
-      | [ "figures-quick" ] -> run_quick_grid ~params:(quick_grid_params ~jobs)
+      | [ "figures-quick" ] -> run_quick_grid ~params:(quick_grid_params ~jobs) ~out
       | [ "speedup" ] -> run_speedup ()
       | names -> List.iter print_one names)

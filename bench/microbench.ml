@@ -158,12 +158,50 @@ let device_write_kernel () : int * (unit -> unit) =
         done
       done )
 
+(* translate: the logical→physical pipeline walk with both stage kinds
+   live — a start-gap leveling permutation over clustering redirects —
+   after enough write churn that the permutation has rotated and the
+   redirect maps hold recorded failures.  This is the per-access cost
+   the pipeline adds on top of the arena store. *)
+let translate_kernel () : int * (unit -> unit) =
+  let config =
+    {
+      Holes_pcm.Device.default_config with
+      Holes_pcm.Device.pages = 64;
+      wear = { Holes_pcm.Wear.fast_params with Holes_pcm.Wear.mean_endurance = 400.0 };
+      wear_level = Some (Holes_pcm.Wear_level.Start_gap { psi = 16 });
+    }
+  in
+  let dev = Holes_pcm.Device.create ~config ~seed:7 () in
+  let payload = Bytes.make Holes_pcm.Geometry.line_bytes 't' in
+  let nlines = Holes_pcm.Device.nlines dev in
+  (* boot failures populate the redirect maps (and freeze their pairs in
+     the leveling stage); churn then rotates the gap through the rest *)
+  Holes_pcm.Device.preinstall_failures dev
+    (Holes_pcm.Failure_map.uniform (Holes_stdx.Xrng.of_seed 13) ~nlines ~rate:0.10);
+  for _ = 1 to 4 do
+    for l = 0 to nlines - 1 do
+      if Holes_pcm.Device.line_usable dev l then ignore (Holes_pcm.Device.write dev l payload)
+    done
+  done;
+  let passes = 64 in
+  ( passes * nlines,
+    fun () ->
+      let acc = ref 0 in
+      for _ = 1 to passes do
+        for l = 0 to nlines - 1 do
+          acc := !acc + Holes_pcm.Device.physical_of_logical dev l
+        done
+      done;
+      ignore !acc )
+
 let kernels : (string * (unit -> int * (unit -> unit))) list =
   [
     ("hole_search", hole_search_kernel);
     ("alloc_small", alloc_kernel);
     ("full_gc", full_gc_kernel);
     ("device_write", device_write_kernel);
+    ("translate", translate_kernel);
   ]
 
 let run_kernels () : (string * float) list =

@@ -52,7 +52,7 @@ let print_outcome (profile : Holes_workload.Profile.t) (cfg : Holes.Config.t) ~(
   if o.Holes_exp.Runner.completed = o.Holes_exp.Runner.trials then 0 else 2
 
 let run list_benches bench collector line_size rate dist model compensate arraylets backend
-    endurance heap scale seed trials jobs out trace stats verify verbose =
+    endurance wear_level heap scale seed trials jobs out trace stats verify verbose =
   if list_benches then begin
     print_endline "available benchmark profiles:";
     List.iter
@@ -107,6 +107,11 @@ let run list_benches bench collector line_size rate dist model compensate arrayl
               Holes.Config.Device { d with Holes.Config.wear }
           | other -> failwith (Printf.sprintf "unknown backend %S (static|device)" other)
         in
+        let wear_level =
+          match Holes_pcm.Translate.of_cli wear_level with
+          | Ok p -> p
+          | Error m -> failwith (Printf.sprintf "bad --wear-level %S: %s" wear_level m)
+        in
         let cfg =
           {
             Holes.Config.collector;
@@ -120,6 +125,7 @@ let run list_benches bench collector line_size rate dist model compensate arrayl
             nursery_copy = true;
             arraylets;
             backend;
+            wear_level;
             failure_model;
             verify;
             seed;
@@ -197,7 +203,14 @@ let run list_benches bench collector line_size rate dist model compensate arrayl
                   m.Holes.Metrics.os_upcalls m.Holes.Metrics.os_page_copies
                   m.Holes.Metrics.os_data_restores;
                 Printf.printf "VMM:        %d reverse translations, %d swap-ins\n"
-                  m.Holes.Metrics.reverse_translations m.Holes.Metrics.swap_ins
+                  m.Holes.Metrics.reverse_translations m.Holes.Metrics.swap_ins;
+                if m.Holes.Metrics.wl_active then
+                  Printf.printf
+                    "leveling:   %d gap moves, %d remaps, %d copies, %d meta writes, wear \
+                     CoV %.3f\n"
+                    m.Holes.Metrics.wl_gap_moves m.Holes.Metrics.wl_remaps
+                    m.Holes.Metrics.wl_remap_copies m.Holes.Metrics.wl_meta_writes
+                    m.Holes.Metrics.wear_cov
               end
             end;
             if stats then begin
@@ -253,6 +266,13 @@ let cmd =
          & info [ "endurance" ] ~docv:"N"
              ~doc:"Device backend: mean per-line write endurance (lognormal).")
   in
+  let wear_level =
+    Arg.(value & opt string "none"
+         & info [ "wear-level" ] ~docv:"W"
+             ~doc:"Device backend: wear-leveling stage in the address-translation pipeline: \
+                   none, startgap[:PSI], random[:PSI] or decoder[:PSI] (PSI = writes between \
+                   moves, default 100).")
+  in
   let heap =
     Arg.(value & opt float 2.0 & info [ "heap" ] ~docv:"X" ~doc:"Heap size as a multiple of the minimum.")
   in
@@ -299,7 +319,7 @@ let cmd =
     (Cmd.info "holes-run" ~doc)
     Term.(
       const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ model $ compensate
-      $ arraylets $ backend $ endurance $ heap $ scale $ seed $ trials $ jobs $ out $ trace
-      $ stats $ verify $ verbose)
+      $ arraylets $ backend $ endurance $ wear_level $ heap $ scale $ seed $ trials $ jobs
+      $ out $ trace $ stats $ verify $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -70,6 +70,10 @@ type t = {
           objects: no perfect pages needed, at an access-indirection
           cost *)
   backend : backend;  (** how heap pages are granted and failures arrive *)
+  wear_level : Holes_pcm.Wear_level.policy option;
+      (** wear-leveling stage in the device's address-translation
+          pipeline ([None] = identity; see {!Holes_pcm.Translate}).
+          Parsed/printed by [Holes_pcm.Translate.of_cli]/[to_cli] *)
   failure_model : failure_model;
       (** which adversary generates (and, for dynamic models, keeps
           injecting) line failures *)
@@ -93,6 +97,7 @@ let default : t =
     nursery_copy = true;
     arraylets = false;
     backend = Static;
+    wear_level = None;
     failure_model = From_dist;
     verify = false;
     seed = 42;
@@ -118,6 +123,13 @@ let name (t : t) : string =
     match t.backend with
     | Static -> base
     | Device d -> Printf.sprintf "%s-dev-e%.0f" base d.wear.Holes_pcm.Wear.mean_endurance
+  in
+  (* identity pipeline keeps the pre-refactor name (cache keys, seeds and
+     result paths derive from it); a leveling stage tags itself on *)
+  let base =
+    match t.wear_level with
+    | None -> base
+    | Some _ -> base ^ "-wl" ^ Holes_pcm.Translate.short_name t.wear_level
   in
   let line = Printf.sprintf "L%d" t.line_size in
   match t.failure_model with
@@ -167,7 +179,12 @@ let validate (t : t) : (unit, string) result =
     | Error _ as e -> e
     | Ok () -> (
         match t.backend with
-        | Static -> Ok ()
+        | Static ->
+            if t.wear_level <> None then
+              Error
+                "wear_level stages live in the device pipeline; the static backend bakes any \
+                 leveling into its failure map"
+            else Ok ()
         | Device d ->
             if not (is_immix t.collector) then
               Error "the device backend requires a failure-aware Immix collector"

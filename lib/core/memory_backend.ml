@@ -84,6 +84,7 @@ let create_device ?(tracer = Trace.null) ~(cfg : Config.t) ~(params : Config.dev
           wear = params.Config.wear;
           clustering;
           buffer_capacity = params.Config.buffer_capacity;
+          wear_level = cfg.Config.wear_level;
         }
       ~tracer ~seed:cfg.Config.seed ()
   in
@@ -194,4 +195,23 @@ let sync (st : device_state) : unit =
   m.Metrics.os_page_copies <- Osal.Interrupts.page_copies st.interrupts;
   m.Metrics.os_data_restores <- Osal.Interrupts.restores st.interrupts;
   m.Metrics.reverse_translations <- Osal.Vmm.reverse_translations st.vmm;
-  m.Metrics.swap_ins <- Osal.Vmm.swap_ins st.vmm
+  m.Metrics.swap_ins <- Osal.Vmm.swap_ins st.vmm;
+  m.Metrics.wear_cov <- Pcm.Device.wear_cov st.device;
+  match s.Pcm.Device.wl with
+  | None -> ()
+  | Some wl ->
+      m.Metrics.wl_active <- true;
+      m.Metrics.wl_gap_moves <- wl.Pcm.Device.gap_moves;
+      m.Metrics.wl_remaps <- wl.Pcm.Device.remaps;
+      m.Metrics.wl_remap_copies <- wl.Pcm.Device.copies;
+      m.Metrics.wl_meta_writes <- wl.Pcm.Device.meta_writes
+
+(** Switch the device's wear-leveling stage mid-run.  Pending failure
+    interrupts are drained first (a stage install freezes the current
+    unusable set into its permutation), and any line the new stage
+    reserves for itself is evacuated through the normal failure chain
+    and resolved before this returns. *)
+let set_wear_level (st : device_state) (p : Pcm.Wear_level.policy option) : unit =
+  ignore (service st);
+  Pcm.Device.set_wear_level st.device p;
+  ignore (service st)

@@ -36,6 +36,19 @@ type t = {
   mutable os_data_restores : int;  (** clustering re-backed the failing address *)
   mutable reverse_translations : int;
   mutable swap_ins : int;
+  (* wear-leveling stage (Translate pipeline): overhead counters, synced
+     from the device.  Serialized only when a leveling stage is active
+     ([wl_active]) so identity-pipeline records stay byte-identical to
+     the pre-pipeline schema. *)
+  mutable wl_active : bool;  (** a leveling stage is installed on the device *)
+  mutable wl_gap_moves : int;  (** start-gap movements *)
+  mutable wl_remaps : int;  (** pair swaps (random remap / decoder swap) *)
+  mutable wl_remap_copies : int;  (** overhead line copies charged to the device *)
+  mutable wl_meta_writes : int;  (** leveling map / decoder reprogram writes *)
+  mutable wear_cov : float;
+      (** coefficient of variation of per-line wear across the module
+          (synced on the device backend whether or not leveling is on;
+          serialized only when it is) *)
   (* paranoid heap verifier (Verify): pass/check counters.  Deliberately
      NOT serialized by [to_fields] — JSONL records must be bit-identical
      with the verifier on and off, and these are the only counters the
@@ -86,6 +99,12 @@ let create () : t =
     os_data_restores = 0;
     reverse_translations = 0;
     swap_ins = 0;
+    wl_active = false;
+    wl_gap_moves = 0;
+    wl_remaps = 0;
+    wl_remap_copies = 0;
+    wl_meta_writes = 0;
+    wear_cov = 0.0;
     verify_passes = 0;
     verify_checks = 0;
     pause_hist = Holes_obs.Stats.hist ();
@@ -141,6 +160,15 @@ let to_fields (t : t) : (string * float) list =
     ("reverse_translations", f t.reverse_translations);
     ("swap_ins", f t.swap_ins);
   ]
+  @ (if not t.wl_active then []
+     else
+       [
+         ("wl_gap_moves", f t.wl_gap_moves);
+         ("wl_remaps", f t.wl_remaps);
+         ("wl_remap_copies", f t.wl_remap_copies);
+         ("wl_meta_writes", f t.wl_meta_writes);
+         ("wear_cov", t.wear_cov);
+       ])
   @ Holes_obs.Stats.to_fields ~prefix:"pause_ns" t.pause_hist
   @ Holes_obs.Stats.to_fields ~prefix:"nursery_pause_ns" t.nursery_pause_hist
   @ Holes_obs.Stats.to_fields ~prefix:"hole_search_lines" t.hole_search_hist

@@ -375,6 +375,15 @@ let run ~(metrics : Metrics.t) ~(objects : Object_table.t) ~(stock : Page_stock.
                       Printf.sprintf "OS table marks line %d of device page %d the device calls usable"
                         off dev_page)))
         st.Memory_backend.virt_of_stock;
+      (* translation-consistency: every pipeline stage is a permutation
+         and the composed logical->physical map is a bijection whose
+         inverse chain really inverts it (DESIGN.md §11) *)
+      check c
+        (Pcm.Device.check_translation st.Memory_backend.device = Ok ())
+        (fun () ->
+          match Pcm.Device.check_translation st.Memory_backend.device with
+          | Ok () -> assert false
+          | Error e -> e);
       check_fbuf "device" (Pcm.Device.buffer st.Memory_backend.device));
   Option.iter (fun fb -> check_fbuf "injector" fb) fbuf;
 

@@ -28,6 +28,11 @@ type params = {
 let quick = { scale = 0.25; seeds = 2; jobs = 1 }
 let full = { scale = 0.6; seeds = 5; jobs = 1 }
 
+(** Whether [p] asks for paper-grade volume.  Structural on purpose: the
+    CLI rebuilds the preset record to set [jobs], so physical equality
+    with [full] would misclassify it. *)
+let is_full (p : params) : bool = p.scale >= full.scale
+
 type outcome = {
   profile : string;
   cfg : Holes.Config.t;

@@ -30,6 +30,7 @@ type outcome = {
   steps_run : int;
   allocs : int;
   injections : int;  (** direct dynamic-failure strikes on live objects *)
+  wl_toggles : int;  (** mid-run wear-leveling stage toggles (device seeds) *)
   gcs : int;  (** nursery + full collections *)
   explicit_verifies : int;  (** verifier runs outside the post-GC hook *)
   verify_passes : int;  (** clean verifier runs, including post-GC hooks *)
@@ -96,6 +97,19 @@ let config_of_seed (seed : int) : Cfg.t =
     | 1 -> Cfg.Hw_cluster 1
     | _ -> Cfg.Uniform
   in
+  (* device seeds also draw a boot wear-leveling stage for the
+     translation pipeline (drawn last so the other fields keep their
+     pre-pipeline values for any given seed) *)
+  let wear_level =
+    if not device then None
+    else
+      let psi = 24 + Xrng.int rng 96 in
+      match Xrng.int rng 4 with
+      | 0 -> None
+      | 1 -> Some (Holes_pcm.Wear_level.Start_gap { psi })
+      | 2 -> Some (Holes_pcm.Wear_level.Random_remap { psi })
+      | _ -> Some (Holes_pcm.Wear_level.Decoder_swap { psi })
+  in
   {
     Cfg.default with
     Cfg.collector;
@@ -106,6 +120,7 @@ let config_of_seed (seed : int) : Cfg.t =
     heap_factor;
     backend;
     failure_model;
+    wear_level;
     verify = true;
     seed = 0xBEEF + seed;
   }
@@ -148,6 +163,7 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
   in
   let allocs = ref 0 in
   let injections = ref 0 in
+  let wl_toggles = ref 0 in
   let explicit_verifies = ref 0 in
   let steps_run = ref 0 in
   let completed = ref true in
@@ -185,9 +201,28 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
              let dst = live.(Xrng.int rng !nlive) in
              Vm.write_ref vm ~src ~dst
        | r when r < 91 ->
-           if static && !nlive > 0 then begin
-             incr injections;
-             Vm.dynamic_failure vm ~id:live.(Xrng.int rng !nlive)
+           if static then begin
+             if !nlive > 0 then begin
+               incr injections;
+               Vm.dynamic_failure vm ~id:live.(Xrng.int rng !nlive)
+             end
+           end
+           else begin
+             (* device seeds reuse the injection slot to toggle the
+                wear-leveling stage mid-run: enable installs a stage over
+                the already-holed device (freezing its unusable set),
+                disable pauses it — both stress on_failure re-translation
+                and the gap-line evacuate/re-reserve path under load *)
+             incr wl_toggles;
+             let psi = 24 + Xrng.int rng 96 in
+             let next =
+               match Xrng.int rng 4 with
+               | 0 -> None
+               | 1 -> Some (Holes_pcm.Wear_level.Start_gap { psi })
+               | 2 -> Some (Holes_pcm.Wear_level.Random_remap { psi })
+               | _ -> Some (Holes_pcm.Wear_level.Decoder_swap { psi })
+             in
+             Vm.set_wear_level vm next
            end
        | r when r < 96 -> Vm.collect vm ~full:(Xrng.int rng 4 = 0)
        | _ -> verify_now ());
@@ -216,6 +251,7 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
     steps_run = !steps_run;
     allocs = !allocs;
     injections = !injections;
+    wl_toggles = !wl_toggles;
     gcs = m.Metrics.full_gcs + m.Metrics.nursery_gcs;
     explicit_verifies = !explicit_verifies;
     verify_passes = m.Metrics.verify_passes;

@@ -1,12 +1,14 @@
-(** The Sec. 7.2 ablation: "Wear Leveling Considered Harmful".
+(** Synthetic wear-out failure maps (test-only cross-check).
 
-    Start-gap-style wear leveling spreads writes uniformly, so once
-    cells start failing the failures are uniformly scattered —
-    maximizing fragmentation.  Without leveling, write traffic has
-    spatial locality (hot pages), so the same *number* of failures
-    concentrates in hot regions and the failure-aware runtime barely
-    notices.  This module synthesizes both failure maps from a common
-    wear model and compares the runtime overhead they induce.
+    This used to be the Sec. 7.2 "Wear Leveling Considered Harmful"
+    ablation.  The headline result now comes from {!Wear_policies},
+    which runs actual leveling stages in the device's translation
+    pipeline; what remains here is the closed-form wear model it is
+    cross-checked against: a live start-gap stage should reproduce the
+    uniform-scatter failure pattern of [wear_map ~leveled:true]
+    (statistically, on failure-location dispersion — see
+    [test/test_translate.ml]), while unleveled traffic concentrates
+    failures into hot pages.
 
     Model: per-line endurance is lognormal (process variation); write
     traffic is Zipf-distributed over 4 KB pages (unleveled) or uniform
@@ -15,7 +17,6 @@
     smallest endurance/traffic ratio fail — no time-stepping needed. *)
 
 open Holes_stdx
-module Cfg = Holes.Config
 
 (** Build a wear-out failure map with exactly [round (rate*nlines)]
     failures.  [leveled] selects uniform (wear-leveled) vs Zipf
@@ -49,10 +50,11 @@ let wear_map (rng : Xrng.t) ~(nlines : int) ~(rate : float) ~(leveled : bool) : 
   done;
   map
 
-(** Fragmentation statistic of a map: mean run length of failed lines
-    (clustered wear → long runs) and the fraction of pages left
-    perfect. *)
-let describe (map : Bitset.t) : string =
+(** Failure-location dispersion of a map: mean run length of contiguous
+    failed lines.  Clustered wear produces long runs; uniform scatter
+    drives it toward 1/(1-rate).  The live-vs-synthetic cross-check in
+    [test/test_translate.ml] compares this statistic directly. *)
+let mean_failed_run (map : Bitset.t) : float =
   let n = Bitset.length map in
   let runs = ref 0 and failed = ref 0 in
   let in_run = ref false in
@@ -64,55 +66,9 @@ let describe (map : Bitset.t) : string =
     end
     else in_run := false
   done;
-  let mean_run = if !runs = 0 then 0.0 else float_of_int !failed /. float_of_int !runs in
-  Printf.sprintf "mean failed-run %.2f lines, %d perfect pages"
-    mean_run
-    (Holes_pcm.Failure_map.perfect_pages map)
+  if !runs = 0 then 0.0 else float_of_int !failed /. float_of_int !runs
 
-(** Run the ablation: geomean overhead of the failure-aware runtime on
-    wear-leveled vs unleveled failure maps at the same failure rates. *)
-let table ?(params = Runner.quick) () : Table.t =
-  let t =
-    Table.create ~title:"Sec. 7.2 — wear leveling considered harmful (S-IX^PCM L256, 2x heap)"
-      ~headers:[ "failures"; "leveled (uniform wear)"; "unleveled (concentrated wear)" ]
-      ~aligns:[ Table.Left; Table.Right; Table.Right ] ()
-  in
-  let profiles = Holes_workload.Dacapo.suite in
-  let run_with ~leveled ~ratef profile =
-    let cfg = { Figures.base_six with Cfg.failure_rate = ratef; failure_dist = Cfg.Uniform } in
-    let profile = Holes_workload.Profile.scaled profile params.Runner.scale in
-    let device_map ~npages =
-      wear_map (Xrng.of_seed 2718) ~nlines:(npages * Holes_pcm.Geometry.lines_per_page)
-        ~rate:ratef ~leveled
-    in
-    let vm =
-      Holes.Vm.create ~cfg ~device_map
-        ~min_heap_bytes:(Holes_workload.Profile.min_heap profile)
-        ()
-    in
-    let res = Holes_workload.Generator.run ~rng:(Xrng.of_seed 99) vm profile in
-    if res.Holes_workload.Generator.completed then Some res.Holes_workload.Generator.elapsed_ms
-    else None
-  in
-  let base_time profile =
-    let o = Runner.run ~params ~cfg:Figures.base_six ~profile () in
-    Runner.time_if_all_completed o
-  in
-  List.iter
-    (fun ratef ->
-      let cell ~leveled =
-        let ratios =
-          List.map
-            (fun p ->
-              match (run_with ~leveled ~ratef p, base_time p) with
-              | Some t, Some b when b > 0.0 -> Some (t /. b)
-              | _ -> None)
-            profiles
-        in
-        if List.exists (( = ) None) ratios then "DNF"
-        else Printf.sprintf "%.3f" (Stats.geomean (List.map Option.get ratios))
-      in
-      Table.add_row t
-        [ Printf.sprintf "%.0f%%" (ratef *. 100.0); cell ~leveled:true; cell ~leveled:false ])
-    [ 0.10; 0.25; 0.50 ];
-  t
+(** Human-readable fragmentation statistic of a map. *)
+let describe (map : Bitset.t) : string =
+  Printf.sprintf "mean failed-run %.2f lines, %d perfect pages" (mean_failed_run map)
+    (Holes_pcm.Failure_map.perfect_pages map)

@@ -66,7 +66,7 @@ let table ?(params = Runner.quick) () : Table.t =
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ] ()
   in
   let profile = Holes_workload.Dacapo.pmd in
-  let max_rounds = if params == Runner.full then 12 else 6 in
+  let max_rounds = if Runner.is_full params then 12 else 6 in
   let endurances = [ 200.0; 50.0; 20.0; 10.0; 5.0 ] in
   let specs =
     Array.of_list

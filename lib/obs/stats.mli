@@ -90,3 +90,27 @@ val to_fields : prefix:string -> hist -> (string * float) list
 
 val summary_string : hist -> string
 (** One-line human-readable summary. *)
+
+(** {2 Running moments}
+
+    A constant-space accumulator for dispersion statistics — used for
+    the wear coefficient-of-variation over a device's per-line write
+    counts, where a histogram's power-of-two quantiles are too coarse. *)
+
+type moments
+
+val moments : unit -> moments
+(** A fresh, empty accumulator. *)
+
+val accumulate : moments -> float -> unit
+(** Fold one observation in. *)
+
+val moments_mean : moments -> float
+(** Mean observation (0 when empty). *)
+
+val moments_stddev : moments -> float
+(** Population standard deviation (0 when empty). *)
+
+val cov : moments -> float
+(** Coefficient of variation: stddev / mean, 0 when the mean is 0 —
+    the "how level is the wear" scalar of the Sec. 7.2 ablation. *)

@@ -1,12 +1,18 @@
 (** A whole PCM module: an array of pages of wearable lines, the write
-    path with failure detection, the failure buffer, and (optionally) the
-    failure-clustering engine (paper Sec. 3.1).
+    path with failure detection, the failure buffer, and the composable
+    address-translation pipeline (paper Sec. 3.1; DESIGN.md §11).
 
-    Reads and writes address *logical* line indices; the device applies
-    the per-region redirection maps internally, exactly as the memory
-    module would below the physical address the cache hierarchy issues.
-    Data payloads are stored per line so the failure-buffer forwarding
-    and OS copy-out paths are real, not mocked. *)
+    Reads and writes address *logical* line indices; the device folds
+    them through an ordered list of {!Translate.stage}s — the optional
+    wear-leveling permutation ({!Wear_level}) on the logical side, then
+    the per-region failure-clustering redirection maps ({!Redirect}) on
+    the physical side — exactly as the memory controller and module
+    would below the physical address the cache hierarchy issues.  When a
+    line wears out, the failure walks the same pipeline in reverse: each
+    stage maps the unusable output-domain line back to the input-domain
+    lines the OS must publish.  Data payloads are stored per line so the
+    failure-buffer forwarding and OS copy-out paths are real, not
+    mocked. *)
 
 open Holes_stdx
 module Trace = Holes_obs.Trace
@@ -16,6 +22,9 @@ type config = {
   wear : Wear.params;
   clustering : int option;  (** region size in pages; [None] disables clustering *)
   buffer_capacity : int;
+  wear_level : Wear_level.policy option;
+      (** leveling stage installed at boot; [None] leaves the pipeline
+          identity-above-redirect, byte-identical to the unleveled path *)
 }
 
 let default_config =
@@ -24,6 +33,7 @@ let default_config =
     wear = Wear.fast_params;
     clustering = Some Geometry.default_region_pages;
     buffer_capacity = 32;
+    wear_level = None;
   }
 
 (* lines per arena chunk: 1024 × 64 B = 64 KB, so a device that only
@@ -33,19 +43,28 @@ let chunk_lines = 1024
 type t = {
   config : config;
   nlines : int;
+  seed : int;
   rng : Xrng.t;
   lines : Wear.line array;  (** indexed by physical line *)
   arena : Bytes.t option array;
       (** payload store: a flat arena of 64 KB chunks indexed by
-          [physical / chunk_lines], committed lazily on first write.  A
-          read of a never-written line sees zeros, exactly as the old
-          per-line hash table reported for an absent key — but reads and
-          writes are now an index computation and a blit, with no
-          hashing on the device hot path. *)
+          [physical / chunk_lines], committed lazily on first write *)
   buffer : Failure_buffer.t;
   regions : Redirect.t array;  (** empty when clustering is off *)
   region_lines : int;  (** lines per region (or whole device when off) *)
-  mutable failed_unclustered : Bitset.t;  (** logical failures when clustering is off *)
+  mutable stages : Translate.stage array;
+      (** the translation pipeline, logical side first; empty when both
+          clustering and leveling are off (identity translation) *)
+  mutable wear_stage : Wear_level.t option;  (** the leveling stage, once installed *)
+  mutable write_path : int -> int;
+      (** memoized partial evaluation of the write-path pipeline walk
+          (hooks then translation, stage by stage); rebuilt whenever
+          [stages] changes so the per-write cost of an identity or
+          redirect-only pipeline matches the pre-pipeline direct path *)
+  unusable : Bitset.t;
+      (** logical lines currently unusable (failures, clustering
+          metadata, leveling-reserved lines) — maintained incrementally
+          by the pipeline so [line_usable] is O(1) on the write path *)
   mutable on_line_failed : addr:int -> unusable:int list -> unit;
       (** OS callback: the logical address whose write failed, and the
           logical line indices newly unusable (with clustering these
@@ -55,8 +74,143 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable failures : int;
-  tracer : Trace.view;  (** pcm-lane events: wear-outs, buffer traffic *)
+  tracer : Trace.view;  (** pcm-lane events: wear-outs, buffer traffic, remaps *)
 }
+
+let nlines (t : t) : int = t.nlines
+
+let npages (t : t) : int = t.config.pages
+
+let buffer (t : t) : Failure_buffer.t = t.buffer
+
+(** Failures currently awaiting an OS drain. *)
+let buffer_occupancy (t : t) : int = Failure_buffer.occupancy t.buffer
+
+let check_line t l =
+  if l < 0 || l >= t.nlines then invalid_arg "Device: line index out of range"
+
+(* logical -> physical through the whole pipeline *)
+let physical_of_logical (t : t) (logical : int) : int = Translate.translate t.stages logical
+
+(* like [physical_of_logical], but fires each stage's write hook first:
+   a triggered remap relocates the old payload before we translate, so
+   the incoming write lands at the post-move location.  [compose_write_path]
+   partially evaluates this walk for the common pipeline shapes so the
+   hot write path pays no per-stage dispatch when no stage wants hooks. *)
+let compose_write_path (stages : Translate.stage array) : int -> int =
+  match stages with
+  | [||] -> Fun.id
+  | [| s |] when s.Translate.on_write == Translate.nop_write -> s.Translate.translate
+  | _ ->
+      let n = Array.length stages in
+      fun logical ->
+        let rec go i l =
+          if i >= n then l
+          else begin
+            let s = Array.unsafe_get stages i in
+            s.Translate.on_write l;
+            go (i + 1) (s.Translate.translate l)
+          end
+        in
+        go 0 logical
+
+let translate_for_write (t : t) (logical : int) : int = t.write_path logical
+
+(* translation below the wear-leveling stage (used by its data movers):
+   slot domain -> physical, i.e. just the redirect maps *)
+let downstream (t : t) (m : int) : int =
+  if Array.length t.regions = 0 then m
+  else
+    let r = m / t.region_lines in
+    (r * t.region_lines) + Redirect.translate t.regions.(r) (m mod t.region_lines)
+
+(* a physical line became unusable: walk the pipeline in reverse, giving
+   each stage a chance to absorb it (clustering swap, leveling freeze),
+   and collect the logical lines the OS must now publish *)
+let chain_failure (t : t) (physical : int) : int list =
+  let rec go i lines =
+    if i < 0 then lines
+    else
+      go (i - 1)
+        (List.concat_map (fun q -> t.stages.(i).Translate.on_failure ~physical:q) lines)
+  in
+  go (Array.length t.stages - 1) [ physical ]
+
+(* ---- arena payload helpers ------------------------------------------- *)
+
+let chunk_for (t : t) (physical : int) : Bytes.t =
+  match t.arena.(physical / chunk_lines) with
+  | Some c -> c
+  | None ->
+      let c = Bytes.make (chunk_lines * Geometry.line_bytes) '\000' in
+      t.arena.(physical / chunk_lines) <- Some c;
+      c
+
+let line_copy_out (t : t) (physical : int) (buf : Bytes.t) : unit =
+  match t.arena.(physical / chunk_lines) with
+  | Some c ->
+      Bytes.blit c (physical mod chunk_lines * Geometry.line_bytes) buf 0 Geometry.line_bytes
+  | None -> Bytes.fill buf 0 Geometry.line_bytes '\000'
+
+let line_copy_in (t : t) (physical : int) (buf : Bytes.t) : unit =
+  Bytes.blit buf 0 (chunk_for t physical)
+    (physical mod chunk_lines * Geometry.line_bytes)
+    Geometry.line_bytes
+
+(* ---- wear-leveling stage install / toggle ---------------------------- *)
+
+(* reserve logical line [r] for the leveler (start-gap's gap owner):
+   published to the OS exactly like a failed line *)
+let reserve_line (t : t) (r : int) : unit =
+  Bitset.set t.unusable r;
+  if Trace.armed t.tracer then
+    Trace.instant t.tracer ~tid:Trace.tid_pcm "wl_reserve" ~args:[ ("line", float_of_int r) ]
+
+(* Install a leveling core as the first pipeline stage.  Pre-existing
+   unusable lines are frozen into it (the fresh map is the identity, so
+   logical = slot for each).  Returns the lines the stage reserved for
+   itself; at boot the caller just publishes them, mid-run it must also
+   evacuate them through the failure up-call. *)
+let install_wear_stage (t : t) (policy : Wear_level.policy) : int list =
+  let w = Wear_level.create ~policy ~nlines:t.nlines ~seed:(t.seed lxor 0x5747a6) () in
+  Bitset.iter_set t.unusable (fun l -> Wear_level.freeze_pair w l);
+  let scratch_a = Bytes.create Geometry.line_bytes in
+  let scratch_b = Bytes.create Geometry.line_bytes in
+  Wear_level.set_io w
+    {
+      Wear_level.copy =
+        (fun ~src ~dst ->
+          (* one start-gap step: data moves src -> dst (the gap), wearing
+             the destination; the outcome is not checked — a worn-out
+             destination surfaces on the next data write to it *)
+          let ps = downstream t src and pd = downstream t dst in
+          line_copy_out t ps scratch_a;
+          line_copy_in t pd scratch_a;
+          ignore (Wear.write t.rng t.config.wear t.lines.(pd));
+          if Trace.armed t.tracer then
+            Trace.instant t.tracer ~tid:Trace.tid_pcm "wl_gap_move"
+              ~args:[ ("src", float_of_int ps); ("dst", float_of_int pd) ]);
+      Wear_level.swap =
+        (fun ~a ~b ->
+          let pa = downstream t a and pb = downstream t b in
+          line_copy_out t pa scratch_a;
+          line_copy_out t pb scratch_b;
+          line_copy_in t pa scratch_b;
+          line_copy_in t pb scratch_a;
+          ignore (Wear.write t.rng t.config.wear t.lines.(pa));
+          ignore (Wear.write t.rng t.config.wear t.lines.(pb));
+          if Trace.armed t.tracer then
+            Trace.instant t.tracer ~tid:Trace.tid_pcm "wl_remap"
+              ~args:[ ("a", float_of_int pa); ("b", float_of_int pb) ]);
+    };
+  t.wear_stage <- Some w;
+  t.stages <- Array.append [| Translate.wear_stage w |] t.stages;
+  t.write_path <- compose_write_path t.stages;
+  match Wear_level.ensure_gap w with
+  | None -> []
+  | Some r ->
+      reserve_line t r;
+      [ r ]
 
 let create ?(config = default_config) ?(tracer = Trace.null) ~(seed : int) () : t =
   let nlines = config.pages * Geometry.lines_per_page in
@@ -73,48 +227,56 @@ let create ?(config = default_config) ?(tracer = Trace.null) ~(seed : int) () : 
               Redirect.create ~region_pages ~region_index:i ()),
           rl )
   in
-  {
-    config;
-    nlines;
-    rng;
-    lines;
-    arena = Array.make ((nlines + chunk_lines - 1) / chunk_lines) None;
-    buffer = Failure_buffer.create ~capacity:config.buffer_capacity ();
-    regions;
-    region_lines;
-    failed_unclustered = Bitset.create nlines;
-    on_line_failed = (fun ~addr:_ ~unusable:_ -> ());
-    reads = 0;
-    writes = 0;
-    failures = 0;
-    tracer;
-  }
-
-let nlines (t : t) : int = t.nlines
-
-let npages (t : t) : int = t.config.pages
-
-let buffer (t : t) : Failure_buffer.t = t.buffer
-
-(** Failures currently awaiting an OS drain. *)
-let buffer_occupancy (t : t) : int = Failure_buffer.occupancy t.buffer
+  let t =
+    {
+      config;
+      nlines;
+      seed;
+      rng;
+      lines;
+      arena = Array.make ((nlines + chunk_lines - 1) / chunk_lines) None;
+      buffer = Failure_buffer.create ~capacity:config.buffer_capacity ();
+      regions;
+      region_lines;
+      stages =
+        (if Array.length regions = 0 then [||]
+         else [| Translate.redirect_stage regions ~region_lines |]);
+      wear_stage = None;
+      write_path = Fun.id;
+      unusable = Bitset.create nlines;
+      on_line_failed = (fun ~addr:_ ~unusable:_ -> ());
+      reads = 0;
+      writes = 0;
+      failures = 0;
+      tracer;
+    }
+  in
+  t.write_path <- compose_write_path t.stages;
+  (match config.wear_level with
+  | None -> ()
+  | Some policy -> ignore (install_wear_stage t policy));
+  t
 
 (** Pre-install manufacturing-time failures from a bitmap over *physical*
-    lines — the boot-time state an OS scan would find.  With clustering
-    enabled each failure goes through the region redirection maps, so the
-    logically unusable lines land at cluster ends exactly as if the wear
-    process had produced them.  No data is buffered and no interrupt
-    fires: these lines failed before the machine booted. *)
+    lines — the boot-time state an OS scan would find.  Each failure
+    walks the pipeline in reverse (clustering swaps, leveling freezes),
+    so the logically unusable lines land exactly as if the wear process
+    had produced them.  No data is buffered and no interrupt fires:
+    these lines failed before the machine booted. *)
 let preinstall_failures (t : t) (map : Bitset.t) : unit =
   if Bitset.length map > t.nlines then
     invalid_arg "Device.preinstall_failures: map larger than the device";
   Bitset.iter_set map (fun physical ->
       t.lines.(physical).Wear.failed <- true;
-      if Array.length t.regions = 0 then Bitset.set t.failed_unclustered physical
-      else begin
-        let r = physical / t.region_lines in
-        ignore (Redirect.record_failure t.regions.(r) ~physical:(physical - (r * t.region_lines)))
-      end)
+      List.iter (fun l -> Bitset.set t.unusable l) (chain_failure t physical));
+  (* a boot failure can swallow start-gap's freshly reserved gap — in
+     particular the clustering metadata freeze lands on region-start
+     slots, and mid-device is a region start.  Re-reserve before the OS
+     boot scan: nothing is written yet, so no evacuation is needed. *)
+  match t.wear_stage with
+  | None -> ()
+  | Some w -> (
+      match Wear_level.ensure_gap w with None -> () | Some r -> reserve_line t r)
 
 (** Register the OS notification callback, called after a write failure
     with the failing logical address and the logical lines that became
@@ -123,25 +285,12 @@ let preinstall_failures (t : t) (map : Bitset.t) : unit =
 let on_line_failed (t : t) (f : addr:int -> unusable:int list -> unit) : unit =
   t.on_line_failed <- f
 
-let check_line t l =
-  if l < 0 || l >= t.nlines then invalid_arg "Device: line index out of range"
-
-(* logical -> physical through the region redirection map *)
-let physical_of_logical (t : t) (logical : int) : int =
-  if Array.length t.regions = 0 then logical
-  else
-    let r = logical / t.region_lines in
-    let off = logical mod t.region_lines in
-    (r * t.region_lines) + Redirect.translate t.regions.(r) off
-
-(** Is the logical line currently usable (not failed, not metadata)? *)
+(** Is the logical line currently usable (not failed, not metadata, not
+    reserved by the leveler)?  O(1): the pipeline maintains the set
+    incrementally. *)
 let line_usable (t : t) (logical : int) : bool =
   check_line t logical;
-  if Array.length t.regions = 0 then not (Bitset.get t.failed_unclustered logical)
-  else
-    let r = logical / t.region_lines in
-    let off = logical mod t.region_lines in
-    not (List.mem off (Redirect.unusable_logical t.regions.(r)))
+  not (Bitset.get t.unusable logical)
 
 (** Read the 64 B payload of logical line [l].  The failure buffer is
     checked in parallel and forwards the latest value for a line whose
@@ -174,19 +323,10 @@ let write (t : t) (logical : int) (payload : Bytes.t) : write_result =
   if Failure_buffer.is_stalled t.buffer then Stalled
   else begin
     t.writes <- t.writes + 1;
-    let physical = physical_of_logical t logical in
+    let physical = translate_for_write t logical in
     match Wear.write t.rng t.config.wear t.lines.(physical) with
     | Wear.Ok | Wear.Corrected ->
-        let chunk =
-          match t.arena.(physical / chunk_lines) with
-          | Some c -> c
-          | None ->
-              let c = Bytes.make (chunk_lines * Geometry.line_bytes) '\000' in
-              t.arena.(physical / chunk_lines) <- Some c;
-              c
-        in
-        Bytes.blit payload 0 chunk (physical mod chunk_lines * Geometry.line_bytes)
-          Geometry.line_bytes;
+        line_copy_in t physical payload;
         Stored
     | Wear.Failed ->
         t.failures <- t.failures + 1;
@@ -201,21 +341,55 @@ let write (t : t) (logical : int) (payload : Bytes.t) : write_result =
           if Failure_buffer.is_stalled t.buffer then
             Trace.instant t.tracer ~tid:Trace.tid_pcm "fbuf_stall"
         end;
+        let newly_unusable = chain_failure t physical in
+        List.iter (fun l -> Bitset.set t.unusable l) newly_unusable;
+        (* if the failure swallowed start-gap's gap, re-reserve one so
+           leveling keeps running; the new reservation rides the same
+           OS notification as the failure itself *)
         let newly_unusable =
-          if Array.length t.regions = 0 then begin
-            Bitset.set t.failed_unclustered logical;
-            [ logical ]
-          end
-          else begin
-            let r = logical / t.region_lines in
-            let base = r * t.region_lines in
-            Redirect.record_failure t.regions.(r) ~physical:(physical - base)
-            |> List.map (fun off -> base + off)
-          end
+          match t.wear_stage with
+          | None -> newly_unusable
+          | Some w -> (
+              match Wear_level.ensure_gap w with
+              | None -> newly_unusable
+              | Some r ->
+                  reserve_line t r;
+                  newly_unusable @ [ r ])
         in
         t.on_line_failed ~addr:logical ~unusable:newly_unusable;
         Write_failed
   end
+
+(** Switch the wear-leveling stage mid-run.  [None] pauses the mover
+    (the live permutation and every published failure stay put — tearing
+    the map down would scramble both data and the OS failure view).
+    Enabling a policy installs the stage on first use; a start-gap
+    enable that needs a fresh gap reserves a line and retires it through
+    the normal failure up-call, so the OS and runtime evacuate it like
+    any other dying line. *)
+let set_wear_level (t : t) (p : Wear_level.policy option) : unit =
+  match t.wear_stage with
+  | Some w ->
+      Wear_level.set_policy w p;
+      (match Wear_level.ensure_gap w with
+      | None -> ()
+      | Some r ->
+          reserve_line t r;
+          t.on_line_failed ~addr:r ~unusable:[ r ])
+  | None -> (
+      match p with
+      | None -> ()
+      | Some policy ->
+          install_wear_stage t policy
+          |> List.iter (fun r -> t.on_line_failed ~addr:r ~unusable:[ r ]))
+
+(** The currently configured wear-leveling policy ([None] = identity or
+    paused). *)
+let wear_level (t : t) : Wear_level.policy option =
+  match t.wear_stage with None -> None | Some w -> Wear_level.policy w
+
+(** The leveling core, for property tests. *)
+let wear_stage (t : t) : Wear_level.t option = t.wear_stage
 
 (** OS drain path: acknowledge (and drop) the buffered failure for the
     failing logical address, after the OS has relocated (or restored)
@@ -234,20 +408,57 @@ let drain_failure (t : t) (logical : int) : Bytes.t option =
       end;
       Some data
 
-(** Logical indices of all currently unusable lines. *)
+(** Logical indices of all currently unusable lines, ascending. *)
 let unusable_lines (t : t) : int list =
-  if Array.length t.regions = 0 then begin
-    let acc = ref [] in
-    Bitset.iter_set t.failed_unclustered (fun i -> acc := i :: !acc);
-    List.rev !acc
-  end
-  else
-    Array.to_list t.regions
-    |> List.mapi (fun r reg ->
-           Redirect.unusable_logical reg |> List.map (fun off -> (r * t.region_lines) + off))
-    |> List.concat
+  let acc = ref [] in
+  Bitset.iter_set t.unusable (fun i -> acc := i :: !acc);
+  List.rev !acc
 
-type stats = { reads : int; writes : int; failures : int; buffer : Failure_buffer.stats }
+(** Per-stage permutation invariants plus whole-pipeline bijectivity —
+    the translation-consistency check {!Holes.Verify} runs each phase.
+    Touches no counted path. *)
+let check_translation (t : t) : (unit, string) result =
+  Translate.check t.stages ~nlines:t.nlines
+
+(** Coefficient of variation of per-line wear (write counts) across the
+    module: ~0 under perfect leveling, large when traffic concentrates.
+    The paper's Sec. 7.2 ablation reads this as "how level is the
+    wear". *)
+let wear_cov (t : t) : float =
+  let m = Holes_obs.Stats.moments () in
+  Array.iter (fun l -> Holes_obs.Stats.accumulate m (float_of_int l.Wear.writes)) t.lines;
+  Holes_obs.Stats.cov m
+
+type wl_stats = {
+  gap_moves : int;  (** start-gap movements *)
+  remaps : int;  (** pair swaps (random remap / decoder swap) *)
+  copies : int;  (** overhead line copies charged to the device *)
+  meta_writes : int;  (** leveling map / decoder reprogram writes *)
+}
+
+type stats = {
+  reads : int;
+  writes : int;
+  failures : int;
+  buffer : Failure_buffer.stats;
+  wl : wl_stats option;  (** present once a leveling stage is installed *)
+}
 
 let stats (t : t) : stats =
-  { reads = t.reads; writes = t.writes; failures = t.failures; buffer = Failure_buffer.stats t.buffer }
+  {
+    reads = t.reads;
+    writes = t.writes;
+    failures = t.failures;
+    buffer = Failure_buffer.stats t.buffer;
+    wl =
+      (match t.wear_stage with
+      | None -> None
+      | Some w ->
+          Some
+            {
+              gap_moves = Wear_level.gap_moves w;
+              remaps = Wear_level.remaps w;
+              copies = Wear_level.copies w;
+              meta_writes = Wear_level.meta_writes w;
+            });
+  }

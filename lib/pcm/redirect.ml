@@ -60,6 +60,12 @@ let translate (t : t) (logical : int) : int =
   if logical < 0 || logical >= t.nlines then invalid_arg "Redirect.translate: offset out of range";
   t.map.(logical)
 
+(** Logical offset currently mapped to physical line [physical] — the
+    exact inverse of {!translate}, maintained incrementally. *)
+let inverse (t : t) (physical : int) : int =
+  if physical < 0 || physical >= t.nlines then invalid_arg "Redirect.inverse: line out of range";
+  t.inverse.(physical)
+
 let swap_logical (t : t) (a : int) (b : int) : unit =
   if a <> b then begin
     let pa = t.map.(a) and pb = t.map.(b) in

@@ -17,6 +17,7 @@ let () =
       ("obs", Test_obs.suite);
       ("hotpath", Test_hotpath.suite);
       ("failure_model", Test_failure_model.suite);
+      ("translate", Test_translate.suite);
       ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);
       ("backend", Test_backend.suite);

@@ -36,7 +36,9 @@ let test_failure_map_page_stats () =
   Alcotest.(check bool) "rate" true (abs_float (Failure_map.rate map -. (3.0 /. 256.0)) < 1e-9)
 
 let test_wear_level_translate_identity () =
-  let t = Wear_level.create ~psi:1000 ~nlines:8 () in
+  let t =
+    Wear_level.create ~policy:(Wear_level.Start_gap { psi = 1000 }) ~nlines:8 ~seed:7 ()
+  in
   for l = 0 to 7 do
     check Alcotest.int "identity before any gap move" l (Wear_level.translate t l)
   done;
@@ -211,22 +213,60 @@ let prop_redirect_cluster_contiguous =
 
 (* ------------------------- Wear leveling ------------------------- *)
 
+(* a leveling core wired like the device does it: reserve the gap, then
+   account data writes on usable lines only *)
+let start_gap_core ~psi ~nlines =
+  let t = Wear_level.create ~policy:(Wear_level.Start_gap { psi }) ~nlines ~seed:11 () in
+  let reserved = match Wear_level.ensure_gap t with Some r -> r | None -> Alcotest.fail "no gap" in
+  (t, reserved)
+
 let test_start_gap_consistent () =
-  let t = Wear_level.create ~psi:3 ~nlines:16 () in
+  let t, reserved = start_gap_core ~psi:3 ~nlines:16 in
   for i = 0 to 499 do
-    ignore (Wear_level.write t (i mod 16))
+    let l = i mod 16 in
+    if l <> reserved then Wear_level.on_data_write t l
   done;
   Alcotest.(check bool) "permutation invariant holds" true (Wear_level.is_consistent t);
-  Alcotest.(check bool) "gap moved" true (Wear_level.gap_moves t > 0)
+  Alcotest.(check bool) "gap moved" true (Wear_level.gap_moves t > 0);
+  Alcotest.(check bool) "copies charged" true (Wear_level.copies t = Wear_level.gap_moves t)
 
 let test_start_gap_spreads_writes () =
   (* hammering one logical line must hit many physical slots over time *)
-  let t = Wear_level.create ~psi:1 ~nlines:8 () in
+  let t, reserved = start_gap_core ~psi:1 ~nlines:8 in
+  let hot = if reserved = 0 then 1 else 0 in
   let slots = Hashtbl.create 16 in
   for _ = 1 to 100 do
-    Hashtbl.replace slots (Wear_level.write t 0) ()
+    Wear_level.on_data_write t hot;
+    Hashtbl.replace slots (Wear_level.translate t hot) ()
   done;
   Alcotest.(check bool) "single hot line spread over >=4 slots" true (Hashtbl.length slots >= 4)
+
+let test_random_decoder_consistent () =
+  List.iter
+    (fun policy ->
+      let t = Wear_level.create ~policy ~nlines:32 ~seed:23 () in
+      for i = 0 to 999 do
+        Wear_level.on_data_write t (i mod 32)
+      done;
+      Alcotest.(check bool) "permutation invariant holds" true (Wear_level.is_consistent t);
+      Alcotest.(check bool) "remaps happened" true (Wear_level.remaps t > 0);
+      Alcotest.(check int) "two copies per remap" (2 * Wear_level.remaps t) (Wear_level.copies t);
+      Alcotest.(check int) "one meta write per remap" (Wear_level.remaps t)
+        (Wear_level.meta_writes t))
+    [ Wear_level.Random_remap { psi = 4 }; Wear_level.Decoder_swap { psi = 4 } ]
+
+let test_frozen_pairs_pinned () =
+  (* a slot reported unusable never moves again, under any mover *)
+  let t = Wear_level.create ~policy:(Wear_level.Random_remap { psi = 1 }) ~nlines:16 ~seed:3 () in
+  (match Wear_level.on_slot_unusable t ~slot:5 with
+  | Some l -> Alcotest.(check int) "identity map: slot 5 holds logical 5" 5 l
+  | None -> Alcotest.fail "fresh slot must report a newly unusable logical line");
+  Alcotest.(check (option int)) "re-reporting is absorbed" None (Wear_level.on_slot_unusable t ~slot:5);
+  for i = 0 to 499 do
+    Wear_level.on_data_write t (i mod 16)
+  done;
+  Alcotest.(check int) "frozen logical line never remapped" 5 (Wear_level.translate t 5);
+  Alcotest.(check bool) "permutation invariant holds" true (Wear_level.is_consistent t)
 
 (* ------------------------- Failure maps ------------------------- *)
 
@@ -364,6 +404,8 @@ let suite =
     ("redirect usable lines map to live physical", `Quick, test_redirect_translated_data_lines_live);
     ("start-gap consistent", `Quick, test_start_gap_consistent);
     ("start-gap spreads writes", `Quick, test_start_gap_spreads_writes);
+    ("random/decoder movers consistent", `Quick, test_random_decoder_consistent);
+    ("frozen pairs pinned", `Quick, test_frozen_pairs_pinned);
     ("uniform map exact count", `Quick, test_uniform_exact_count);
     ("clustered map granules", `Quick, test_clustered_granule);
     ("cluster transform count", `Quick, test_cluster_transform_preserves_count);

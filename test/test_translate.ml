@@ -1,0 +1,267 @@
+(* Translation-pipeline tests (lib/pcm/translate.ml + the device's
+   composable write path):
+
+   - wear-level policy CLI round-trips and rejections;
+   - the composed pipeline stays a bijection under seeded write churn
+     with live failures, for every leveling policy;
+   - a device + leveling experiment cell is bit-identical at -j 1 and
+     -j 4 (engine determinism through the new stage);
+   - the paranoid verifier catches a corrupted leveling map
+     ([Wear_level.unsafe_poke]);
+   - the live start-gap stage reproduces the uniform-scatter failure
+     pattern of the retired synthetic model
+     ([Wear_ablation.wear_map ~leveled:true]) under hot-spot traffic,
+     while the unleveled device concentrates failures in the hot set. *)
+
+open Alcotest
+module Pcm = Holes_pcm
+module Wl = Pcm.Wear_level
+module Tr = Pcm.Translate
+module Cfg = Holes.Config
+module Vm = Holes.Vm
+
+(* ---- CLI ------------------------------------------------------------- *)
+
+let test_cli_roundtrip () =
+  List.iter
+    (fun p ->
+      match Tr.of_cli (Tr.to_cli p) with
+      | Ok p' -> check bool (Tr.to_cli p) true (p = p')
+      | Error e -> fail e)
+    [
+      None;
+      Some (Wl.Start_gap { psi = 100 });
+      Some (Wl.Random_remap { psi = 7 });
+      Some (Wl.Decoder_swap { psi = 250 });
+    ];
+  (match Tr.of_cli "STARTGAP" with
+  | Ok (Some (Wl.Start_gap { psi })) -> check int "default psi" Tr.default_psi psi
+  | _ -> fail "case-insensitive startgap with default psi");
+  check string "short names" "none,sg100,rr7,ds250"
+    (String.concat ","
+       (List.map Tr.short_name
+          [
+            None;
+            Some (Wl.Start_gap { psi = 100 });
+            Some (Wl.Random_remap { psi = 7 });
+            Some (Wl.Decoder_swap { psi = 250 });
+          ]))
+
+let test_cli_rejects () =
+  List.iter
+    (fun s ->
+      match Tr.of_cli s with
+      | Error _ -> ()
+      | Ok _ -> fail (Printf.sprintf "%S should not parse" s))
+    [ "bogus"; "startgap:0"; "startgap:-3"; "random:x"; "decoder:1:2"; "none:5" ]
+
+(* ---- permutation under churn ------------------------------------------ *)
+
+(* Hammer a clustered, low-endurance device with random writes (draining
+   each failure like the OS would) and assert the composed pipeline is
+   still a bijection every 512 writes.  Exercises gap moves, remaps,
+   redirect swaps and frozen pairs together. *)
+let churn_policy (policy : Wl.policy) () =
+  let config =
+    {
+      Pcm.Device.default_config with
+      Pcm.Device.pages = 16;
+      wear = { Pcm.Wear.fast_params with Pcm.Wear.mean_endurance = 12.0 };
+      wear_level = Some policy;
+    }
+  in
+  let dev = Pcm.Device.create ~config ~seed:42 () in
+  Pcm.Device.on_line_failed dev (fun ~addr ~unusable:_ ->
+      ignore (Pcm.Device.drain_failure dev addr));
+  let nlines = Pcm.Device.nlines dev in
+  let payload = Bytes.make Pcm.Geometry.line_bytes 'c' in
+  let rng = Holes_stdx.Xrng.of_seed 7 in
+  for i = 1 to 16384 do
+    let l = Holes_stdx.Xrng.int rng nlines in
+    if Pcm.Device.line_usable dev l then ignore (Pcm.Device.write dev l payload);
+    if i mod 512 = 0 then
+      match Pcm.Device.check_translation dev with
+      | Ok () -> ()
+      | Error e -> fail (Printf.sprintf "after %d writes: %s" i e)
+  done;
+  let s = Pcm.Device.stats dev in
+  check bool "wear failures occurred" true (s.Pcm.Device.failures > 0);
+  match Pcm.Device.wear_stage dev with
+  | None -> fail "no wear stage installed"
+  | Some w -> check bool "leveling stage active" true (Wl.gap_moves w + Wl.remaps w > 0)
+
+(* ---- engine determinism ----------------------------------------------- *)
+
+(* One experiment cell per policy (uniform boot failures, device
+   backend), run through the engine at -j 1 and -j 4: the serialized
+   outcome must be bit-identical. *)
+let test_engine_determinism () =
+  let cells =
+    List.map
+      (fun (_, policy) -> Holes_exp.Wear_policies.cell_cfg ~model:Cfg.From_dist ~policy)
+      Holes_exp.Wear_policies.policies
+  in
+  let profile = Holes_workload.Dacapo.pmd in
+  let specs =
+    Array.of_list
+      (List.map
+         (fun cfg -> { Holes_engine.Job.cfg; profile; scale = 0.04; seed_index = 0 })
+         cells)
+  in
+  let run ~jobs =
+    let results =
+      Holes_engine.Engine.run ~jobs
+        ~f:(fun spec ~seed:_ ->
+          Holes_exp.Wear_policies.lifetime_run ~cfg:spec.Holes_engine.Job.cfg
+            ~profile:spec.Holes_engine.Job.profile ~scale:spec.Holes_engine.Job.scale
+            ~max_rounds:2)
+        specs
+    in
+    Array.to_list results
+    |> List.map (fun r ->
+           match r.Holes_engine.Engine.outcome with
+           | Holes_engine.Pool.Done (o : Holes_exp.Wear_policies.outcome) ->
+               Printf.sprintf "%d|%d|%d|%.6f|%s" o.Holes_exp.Wear_policies.rounds
+                 o.Holes_exp.Wear_policies.dead_lines o.Holes_exp.Wear_policies.dead_runs
+                 o.Holes_exp.Wear_policies.elapsed_ms
+                 (String.concat ";"
+                    (List.map
+                       (fun (k, v) -> Printf.sprintf "%s=%h" k v)
+                       (Holes.Metrics.to_fields o.Holes_exp.Wear_policies.m)))
+           | Holes_engine.Pool.Failed { exn; _ } -> "failed: " ^ exn)
+  in
+  check (list string) "-j 4 bit-identical to -j 1" (run ~jobs:1) (run ~jobs:4)
+
+(* ---- verifier mutation ------------------------------------------------ *)
+
+(* Corrupt the live leveling permutation underneath a running VM: the
+   per-phase translation-consistency check must report it. *)
+let test_verifier_catches_poke () =
+  let d = Cfg.default_device in
+  let cfg =
+    {
+      Cfg.default with
+      Cfg.collector = Cfg.Sticky_immix;
+      backend = Cfg.Device d;
+      failure_rate = 0.0;
+      wear_level = Some (Wl.Start_gap { psi = 1000 });
+    }
+  in
+  let vm = Vm.create ~cfg ~min_heap_bytes:(256 * 1024) () in
+  for _ = 1 to 64 do
+    ignore (Vm.alloc vm ~size:64 ())
+  done;
+  let r = Vm.verify vm in
+  check (list string) "clean before the poke" [] r.Holes.Verify.errors;
+  let st = Option.get (Vm.device_state vm) in
+  let w = Option.get (Pcm.Device.wear_stage st.Holes.Memory_backend.device) in
+  (* map two logical lines onto one slot: no longer a permutation *)
+  Wl.unsafe_poke w ~logical:3 ~slot:(Wl.translate w 4);
+  let r = Vm.verify vm in
+  check bool "verifier reports the corrupted pipeline" true
+    (r.Holes.Verify.errors <> [])
+
+(* ---- live start-gap vs the synthetic leveled wear map ----------------- *)
+
+(* Drive an unclustered, low-endurance device with hot-spot traffic (90%
+   of writes to the first quarter of the lines) until 20% of the device
+   has failed, and record where the failed *cells* are — the slot domain
+   below the leveler, which is what the synthetic wear model predicts.
+   The device is small and psi is 1 so the start-gap rotation cycles the
+   whole mapping several times within the device lifetime (as the real
+   technique does over its much longer timescale): each cell spends time
+   under hot and cold logical lines alike, wear equalizes, and the dying
+   cells scatter uniformly.  Without leveling the mapping is pinned and
+   only the hot cells die. *)
+let live_failure_map ~(policy : Wl.policy option) : Holes_stdx.Bitset.t * int =
+  let config =
+    {
+      Pcm.Device.default_config with
+      Pcm.Device.pages = 2;
+      clustering = None;
+      wear = { Pcm.Wear.fast_params with Pcm.Wear.mean_endurance = 400.0 };
+      wear_level = policy;
+    }
+  in
+  let dev = Pcm.Device.create ~config ~seed:11 () in
+  let nlines = Pcm.Device.nlines dev in
+  let failures = Holes_stdx.Bitset.create nlines in
+  let nfail = ref 0 in
+  Pcm.Device.on_line_failed dev (fun ~addr ~unusable:_ ->
+      (* [addr] is the logical line whose write died; the frozen pair
+         pins it to its slot, so translating it now names the dead cell.
+         Leveling re-reservations only ride along in [unusable]. *)
+      let cell = Pcm.Device.physical_of_logical dev addr in
+      if not (Holes_stdx.Bitset.get failures cell) then begin
+        Holes_stdx.Bitset.set failures cell;
+        incr nfail
+      end;
+      ignore (Pcm.Device.drain_failure dev addr));
+  let payload = Bytes.make Pcm.Geometry.line_bytes 'h' in
+  let rng = Holes_stdx.Xrng.of_seed 23 in
+  let hot = nlines / 4 in
+  let target = nlines / 5 in
+  let writes = ref 0 in
+  while !nfail < target && !writes < 2_000_000 do
+    incr writes;
+    let l =
+      if Holes_stdx.Xrng.int rng 10 < 9 then Holes_stdx.Xrng.int rng hot
+      else Holes_stdx.Xrng.int rng nlines
+    in
+    if Pcm.Device.line_usable dev l then ignore (Pcm.Device.write dev l payload)
+  done;
+  check int "reached the target failure count" target !nfail;
+  (failures, hot)
+
+let test_startgap_scatters_like_synthetic () =
+  let frac_outside_hot (map, hot) =
+    let inside = ref 0 and total = ref 0 in
+    Holes_stdx.Bitset.iter_set map (fun l ->
+        incr total;
+        if l < hot then incr inside);
+    float_of_int (!total - !inside) /. float_of_int !total
+  in
+  let unleveled = live_failure_map ~policy:None in
+  let leveled = live_failure_map ~policy:(Some (Wl.Start_gap { psi = 1 })) in
+  (* without leveling, hot-spot traffic concentrates the deaths *)
+  check bool "unleveled failures stay in the hot set" true
+    (frac_outside_hot unleveled < 0.25);
+  (* start-gap spreads the same wear budget across the whole device *)
+  check bool "start-gap scatters failures device-wide" true
+    (frac_outside_hot leveled > 0.45);
+  (* dispersion statistically matches the synthetic leveled map at the
+     same rate: mean contiguous failed-run length within 2.5x *)
+  let synthetic =
+    Holes_exp.Wear_ablation.wear_map
+      (Holes_stdx.Xrng.of_seed 2718)
+      ~nlines:(Holes_stdx.Bitset.length (fst leveled))
+      ~rate:0.20 ~leveled:true
+  in
+  let live_run = Holes_exp.Wear_ablation.mean_failed_run (fst leveled) in
+  let synth_run = Holes_exp.Wear_ablation.mean_failed_run synthetic in
+  let ratio = live_run /. synth_run in
+  check bool
+    (Printf.sprintf "failed-run dispersion matches (live %.2f vs synthetic %.2f)" live_run
+       synth_run)
+    true
+    (ratio > 0.4 && ratio < 2.5);
+  (* and the unleveled live map is the more clustered of the two *)
+  check bool "leveling reduces clustering" true
+    (Holes_exp.Wear_ablation.mean_failed_run (fst unleveled) >= live_run)
+
+let suite =
+  [
+    ("wear-level CLI round-trips", `Quick, test_cli_roundtrip);
+    ("wear-level CLI rejects malformed specs", `Quick, test_cli_rejects);
+    ("pipeline stays a bijection under churn (start-gap)", `Quick,
+      churn_policy (Wl.Start_gap { psi = 32 }));
+    ("pipeline stays a bijection under churn (random remap)", `Quick,
+      churn_policy (Wl.Random_remap { psi = 32 }));
+    ("pipeline stays a bijection under churn (decoder swap)", `Quick,
+      churn_policy (Wl.Decoder_swap { psi = 32 }));
+    ("leveling experiment cells bit-identical at -j 1 / -j 4", `Slow,
+      test_engine_determinism);
+    ("verifier catches a corrupted leveling map", `Quick, test_verifier_catches_poke);
+    ("live start-gap matches the synthetic leveled wear map", `Slow,
+      test_startgap_scatters_like_synthetic);
+  ]
