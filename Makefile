@@ -3,7 +3,7 @@
 # ocamlformat is available (the check is skipped, not failed, on
 # machines without it).
 
-.PHONY: all build test check fmt doc lint-md bench micro figures-quick speedup quickstart clean
+.PHONY: all build test check fmt doc lint-md bench micro figures-quick fleet-quick speedup quickstart clean
 
 MD_FILES := README.md DESIGN.md EXPERIMENTS.md CHANGES.md ROADMAP.md
 
@@ -49,9 +49,17 @@ micro:
 
 # Reduced figure grid on 2 worker domains, streaming one JSONL record
 # per trial plus a Chrome trace of every trial: the CI perf-trajectory
-# artifacts.  The trace is -j-independent (virtual timestamps).
+# artifacts.  The trace is -j-independent (virtual timestamps).  The
+# wear-leveling ablation and the fleet figure stream to their own
+# derived sinks (results-wearlevel.jsonl / results-fleet.jsonl).
 figures-quick:
 	dune exec bench/main.exe -- figures-quick -j 2 --verify --out results.jsonl --trace trace.json
+
+# The fleet-serving tail-latency figure alone, one JSONL record per
+# device shard to results-fleet.jsonl (`figures-quick` also emits this
+# file as part of the full grid).
+fleet-quick:
+	dune exec bench/main.exe -- fleet -j 2 --out results-fleet.jsonl
 
 # Wall-clock of the reduced grid at -j 1 vs -j max (measures, not
 # asserts, the parallelism win).

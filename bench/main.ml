@@ -20,8 +20,10 @@
      main.exe headline        the Sec. 8 headline overheads
      main.exe wearlevel       the Sec. 7.2 wear-leveling ablation
      main.exe wearlife        device-backend wear-lifetime sweep
+     main.exe fleet           the fleet-serving tail-latency figure
      main.exe figures-quick   reduced CI grid (fig4 + headline +
-                              wearlevel, the last to its own sink file)
+                              wearlevel + fleet, the last two to their
+                              own sink files)
      main.exe speedup         wall-clock of the quick grid, -j 1 vs -j max
      main.exe micro           Bechamel microbenchmarks (one per
                               operation family underlying the figures) *)
@@ -46,6 +48,7 @@ let figures : (string * (params:Holes_exp.Runner.params -> Holes_stdx.Table.t)) 
     ("sensitivity", fun ~params -> Holes_exp.Figures.sensitivity ~params ());
     ("wearlevel", fun ~params -> Holes_exp.Wear_policies.table ~params ());
     ("wearlife", fun ~params -> Holes_exp.Wear_lifetime.table ~params ());
+    ("fleet", fun ~params -> Holes_exp.Fleet_figure.table ~params ());
     ("ablation", fun ~params -> Holes_exp.Figures.ablation ~params ());
   ]
 
@@ -179,33 +182,38 @@ let run_micro () =
 
 let quick_grid_params ~jobs = { Holes_exp.Runner.scale = 0.1; seeds = 2; jobs }
 
-(* The wearlevel ablation joined the CI grid with the translation
-   pipeline; its trials stream to a *separate* sink file
-   (results-wearlevel.jsonl next to --out) so the long-standing
-   results.jsonl stream stays record-for-record comparable across
-   releases. *)
+(* The wearlevel ablation and the fleet figure joined the CI grid later
+   than the original figures; their trials stream to *separate* sink
+   files (results-wearlevel.jsonl / results-fleet.jsonl next to --out)
+   so the long-standing results.jsonl stream stays record-for-record
+   comparable across releases. *)
 let run_quick_grid ~params ~out =
   Holes_stdx.Table.print (Holes_exp.Figures.fig4 ~params ());
   Holes_stdx.Table.print (Holes_exp.Figures.headline ~params ());
   let saved = Holes_exp.Runner.current_sink () in
-  let wl_path =
+  let derived_path tag =
     Option.map
       (fun p ->
         let ext = Filename.extension p in
-        Filename.remove_extension p ^ "-wearlevel" ^ ext)
+        Filename.remove_extension p ^ "-" ^ tag ^ ext)
       out
   in
-  let wl_sink =
-    if wl_path <> None || params.Holes_exp.Runner.jobs > 1 then
-      Some (Holes_engine.Sink.create ?path:wl_path ())
-    else None
+  let print_to_own_sink tag table =
+    let path = derived_path tag in
+    let sink =
+      if path <> None || params.Holes_exp.Runner.jobs > 1 then
+        Some (Holes_engine.Sink.create ?path ())
+      else None
+    in
+    Holes_exp.Runner.set_sink sink;
+    Fun.protect
+      ~finally:(fun () ->
+        (match sink with Some s -> Holes_engine.Sink.close s | None -> ());
+        Holes_exp.Runner.set_sink saved)
+      (fun () -> Holes_stdx.Table.print (table ()))
   in
-  Holes_exp.Runner.set_sink wl_sink;
-  Fun.protect
-    ~finally:(fun () ->
-      (match wl_sink with Some s -> Holes_engine.Sink.close s | None -> ());
-      Holes_exp.Runner.set_sink saved)
-    (fun () -> Holes_stdx.Table.print (Holes_exp.Wear_policies.table ~params ()))
+  print_to_own_sink "wearlevel" (fun () -> Holes_exp.Wear_policies.table ~params ());
+  print_to_own_sink "fleet" (fun () -> Holes_exp.Fleet_figure.table ~params ())
 
 (* `speedup`: measure the parallelism win instead of asserting it — the
    same reduced grid, wall-clocked at -j 1 and -j max from a cold memo

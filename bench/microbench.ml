@@ -195,6 +195,23 @@ let translate_kernel () : int * (unit -> unit) =
       done;
       ignore !acc )
 
+(* fleet: one small device shard end to end — open-loop Poisson
+   arrivals through the virtual-clock event queue, two tenant VMs
+   attached to the shared node, request service and the report merge.
+   Wall-clocks the serving simulator itself (DESIGN.md §12); the
+   simulated latencies inside it are virtual and deterministic. *)
+let fleet_kernel () : int * (unit -> unit) =
+  let p =
+    {
+      Holes_fleet.Sim.default with
+      Holes_fleet.Sim.tenants = 2;
+      devices = 1;
+      arrival = Holes_fleet.Arrivals.Poisson { rate = 400.0 };
+      duration_ms = 150.0;
+    }
+  in
+  (1, fun () -> ignore (Holes_fleet.Sim.run ~jobs:1 p))
+
 let kernels : (string * (unit -> int * (unit -> unit))) list =
   [
     ("hole_search", hole_search_kernel);
@@ -202,6 +219,7 @@ let kernels : (string * (unit -> int * (unit -> unit))) list =
     ("full_gc", full_gc_kernel);
     ("device_write", device_write_kernel);
     ("translate", translate_kernel);
+    ("fleet", fleet_kernel);
   ]
 
 let run_kernels () : (string * float) list =

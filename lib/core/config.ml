@@ -33,6 +33,11 @@ type device_params = {
           runs unclustered) *)
   buffer_capacity : int;  (** failure-buffer slots (Sec. 3.1.1) *)
   dram_pages : int;  (** DRAM frames in front of the PCM namespace *)
+  wear_aware_pools : bool;
+      (** OS page-allocator leveling: the free perfect pool hands out the
+          least-worn page instead of the head of the free list, so fresh
+          grants spread traffic across the module (the PR-6 follow-on
+          above the device's own leveling stages) *)
 }
 
 type backend =
@@ -52,6 +57,7 @@ let default_device : device_params =
     clustering = None;
     buffer_capacity = 32;
     dram_pages = 16;
+    wear_aware_pools = false;
   }
 
 type t = {
@@ -122,7 +128,12 @@ let name (t : t) : string =
   let base =
     match t.backend with
     | Static -> base
-    | Device d -> Printf.sprintf "%s-dev-e%.0f" base d.wear.Holes_pcm.Wear.mean_endurance
+    | Device d ->
+        (* the -wa tag only appears when the flag is on, so every
+           pre-existing configuration keeps its name (cache keys, seeds
+           and result paths derive from it) *)
+        Printf.sprintf "%s-dev-e%.0f%s" base d.wear.Holes_pcm.Wear.mean_endurance
+          (if d.wear_aware_pools then "-wa" else "")
   in
   (* identity pipeline keeps the pre-refactor name (cache keys, seeds and
      result paths derive from it); a leveling stage tags itself on *)

@@ -22,6 +22,18 @@ module Osal = Holes_osal
 module Trace = Holes_obs.Trace
 module Stats = Holes_obs.Stats
 
+(** A device node: the shareable part of the pipeline — the PCM module,
+    its VMM (pools + failure table) and the interrupt handler.  A
+    standalone VM owns its node outright ({!create_device}); the fleet
+    simulator creates one node per pooled device and {!attach}es many
+    tenant VMs to it, each as its own failure-aware OS process. *)
+type node = {
+  n_device : Pcm.Device.t;
+  n_vmm : Osal.Vmm.t;
+  n_interrupts : Osal.Interrupts.t;
+  n_dram_pages : int;  (** physical ids below this are DRAM frames *)
+}
+
 type device_state = {
   device : Pcm.Device.t;
   vmm : Osal.Vmm.t;
@@ -60,22 +72,21 @@ let physical_failure_map (cfg : Config.t) ~(rng : Xrng.t) ~(nlines : int) : Bits
       | Config.Granule g ->
           Pcm.Failure_map.clustered rng ~nlines ~rate:cfg.Config.failure_rate ~granule_lines:g)
 
-(** Bring up the device → OS → process pipeline for a heap of [npages]
-    pages: create the worn device, pre-install the configured boot-time
-    failures, boot-scan them into the OS failure table and pools, attach
-    the interrupt handler, spawn a failure-aware process and map the
-    whole heap with [mmap_imperfect].  Returns the backend state and the
-    per-page failure bitmaps read back through [map_failures] — the
-    grants the page stock is built over. *)
-let create_device ?(tracer = Trace.null) ~(cfg : Config.t) ~(params : Config.device_params)
-    ~(metrics : Metrics.t) ~(npages : int) () : device_state * Bitset.t array =
+(** Bring up the shareable half of the pipeline for a module of (at
+    least) [device_pages] pages: create the worn device (page count
+    rounded up to the clustering region), pre-install the configured
+    boot-time failures, boot-scan them into the OS failure table and
+    pools, and attach the interrupt handler.  No process exists yet —
+    callers {!attach} one per VM. *)
+let create_node ?(tracer = Trace.null) ~(cfg : Config.t) ~(params : Config.device_params)
+    ~(device_pages : int) () : node =
   let clustering =
     match cfg.Config.failure_dist with
     | Config.Hw_cluster region_pages -> Some region_pages
     | Config.Uniform | Config.Granule _ -> params.Config.clustering
   in
   let region_pages = match clustering with Some rp -> rp | None -> 1 in
-  let device_pages = (npages + region_pages - 1) / region_pages * region_pages in
+  let device_pages = (device_pages + region_pages - 1) / region_pages * region_pages in
   let device =
     Pcm.Device.create
       ~config:
@@ -105,45 +116,83 @@ let create_device ?(tracer = Trace.null) ~(cfg : Config.t) ~(params : Config.dev
       ignore (Osal.Page.mark_line_failed (Osal.Pools.page pools (dram_pages + page)) ~line))
     (Pcm.Device.unusable_lines device);
   Osal.Pools.renormalize pools;
+  if params.Config.wear_aware_pools then
+    Osal.Pools.set_wear_rank pools
+      (Some (fun phys -> if phys < dram_pages then 0 else Pcm.Device.page_wear device (phys - dram_pages)));
   let interrupts = Osal.Interrupts.attach ~tracer ~vmm ~device ~dram_pages () in
-  let proc = Osal.Vmm.spawn vmm in
-  let virts =
-    match Osal.Vmm.mmap_imperfect vmm proc ~pages:device_pages with
-    | Ok vs -> vs
-    | Error `Out_of_memory ->
-        invalid_arg "Memory_backend.create_device: device cannot back the requested heap"
-  in
-  let virt_of_stock = Array.of_list virts in
-  let stock_of_virt = Hashtbl.create (Array.length virt_of_stock) in
-  Array.iteri (fun sp v -> Hashtbl.replace stock_of_virt v sp) virt_of_stock;
-  let st =
-    {
-      device;
-      vmm;
-      proc;
-      interrupts;
-      dram_pages;
-      virt_of_stock;
-      stock_of_virt;
-      metrics;
-      payload = Bytes.make Pcm.Geometry.line_bytes '\xAB';
-      line_retired = (fun ~stock_page:_ ~line:_ ~data:_ -> ());
-    }
-  in
-  (* the Sec. 3.2.2 up-call: virtual page + line -> the VM's retire hook *)
-  Osal.Vmm.register_failure_handler proc (fun ~virt_page ~line ~data ->
-      match Hashtbl.find_opt st.stock_of_virt virt_page with
-      | Some stock_page -> st.line_retired ~stock_page ~line ~data
-      | None -> ());
-  let bitmaps =
-    Array.map (fun virt -> Osal.Vmm.map_failures vmm proc ~virt) virt_of_stock
-  in
-  (st, bitmaps)
+  { n_device = device; n_vmm = vmm; n_interrupts = interrupts; n_dram_pages = dram_pages }
+
+(** Spawn a failure-aware process on [node] and map an [npages]-page
+    heap with [mmap_imperfect].  Returns the per-VM backend state and
+    the per-page failure bitmaps read back through [map_failures] — the
+    grants the page stock is built over — or [Error `Out_of_memory] when
+    the node's pools cannot back the heap (a full or dying pooled
+    device; placement fails, nothing is leaked). *)
+let attach ~(node : node) ~(metrics : Metrics.t) ~(npages : int) () :
+    (device_state * Bitset.t array, [ `Out_of_memory ]) result =
+  let proc = Osal.Vmm.spawn node.n_vmm in
+  match Osal.Vmm.mmap_imperfect node.n_vmm proc ~pages:npages with
+  | Error `Out_of_memory -> Error `Out_of_memory
+  | Ok virts ->
+      let virt_of_stock = Array.of_list virts in
+      let stock_of_virt = Hashtbl.create (Array.length virt_of_stock) in
+      Array.iteri (fun sp v -> Hashtbl.replace stock_of_virt v sp) virt_of_stock;
+      let st =
+        {
+          device = node.n_device;
+          vmm = node.n_vmm;
+          proc;
+          interrupts = node.n_interrupts;
+          dram_pages = node.n_dram_pages;
+          virt_of_stock;
+          stock_of_virt;
+          metrics;
+          payload = Bytes.make Pcm.Geometry.line_bytes '\xAB';
+          line_retired = (fun ~stock_page:_ ~line:_ ~data:_ -> ());
+        }
+      in
+      (* the Sec. 3.2.2 up-call: virtual page + line -> the VM's retire hook *)
+      Osal.Vmm.register_failure_handler proc (fun ~virt_page ~line ~data ->
+          match Hashtbl.find_opt st.stock_of_virt virt_page with
+          | Some stock_page -> st.line_retired ~stock_page ~line ~data
+          | None -> ());
+      let bitmaps =
+        Array.map (fun virt -> Osal.Vmm.map_failures node.n_vmm proc ~virt) virt_of_stock
+      in
+      Ok (st, bitmaps)
+
+(** Bring up the device → OS → process pipeline for a heap of [npages]
+    pages: a private node sized to the heap plus one attached process
+    mapping all of it — the standalone-VM path every figure run uses. *)
+let create_device ?(tracer = Trace.null) ~(cfg : Config.t) ~(params : Config.device_params)
+    ~(metrics : Metrics.t) ~(npages : int) () : device_state * Bitset.t array =
+  let node = create_node ~tracer ~cfg ~params ~device_pages:npages () in
+  (* the node rounded its page count up to the clustering region; a
+     private device is mapped whole, exactly as before the node split *)
+  match attach ~node ~metrics ~npages:(Pcm.Device.npages node.n_device) () with
+  | Ok r -> r
+  | Error `Out_of_memory ->
+      invalid_arg "Memory_backend.create_device: device cannot back the requested heap"
 
 (** Drain pending failure interrupts (OS side).  Returns the number of
     resolutions performed. *)
 let service (st : device_state) : int =
   List.length (Osal.Interrupts.service st.interrupts)
+
+(** Evict a VM from its (shared) node: drain pending interrupts, silence
+    the retire hook, and unmap every heap page — the pages return to the
+    node's pools (their wear and failure state persist on the device)
+    for the next placement.  The VM object must not be used afterwards;
+    its remaining device writes fall into the [Skipped] path. *)
+let detach (st : device_state) : unit =
+  ignore (service st);
+  st.line_retired <- (fun ~stock_page:_ ~line:_ ~data:_ -> ());
+  Array.iter
+    (fun virt ->
+      match Osal.Vmm.translate st.proc ~virt with
+      | None -> ()
+      | Some _ -> Osal.Vmm.munmap st.vmm st.proc ~virt)
+    st.virt_of_stock
 
 type write_outcome =
   | Stored  (** the line took the write *)

@@ -262,10 +262,18 @@ let service_injector (t : t) : unit =
     [device_map] overrides the generated failure map (used by the
     wear-leveling ablation and by tests that inject hand-built maps); it
     receives the page count and must return a bitmap of
-    [npages * 64] lines. *)
+    [npages * 64] lines.  [node] attaches the VM to an existing shared
+    device node (the fleet's pooled-device path) instead of creating a
+    private device; placement on a full or dying node raises
+    {!Out_of_memory} without leaking pages. *)
 let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) option)
-    ?(tracer = Trace.null) ~(min_heap_bytes : int) () : t =
+    ?(node : Memory_backend.node option) ?(tracer = Trace.null) ~(min_heap_bytes : int) () : t
+    =
   (match Config.validate cfg with Ok () -> () | Error m -> invalid_arg ("Vm.create: " ^ m));
+  (match (node, cfg.Config.backend) with
+  | Some _, Config.Static ->
+      invalid_arg "Vm.create: a device node requires the device backend"
+  | _ -> ());
   let heap_bytes =
     int_of_float (cfg.Config.heap_factor *. float_of_int min_heap_bytes)
   in
@@ -310,7 +318,14 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
         if device_map <> None then
           invalid_arg "Vm.create: device_map overrides apply to the static backend only";
         let st, bitmaps =
-          Memory_backend.create_device ~tracer ~cfg ~params ~metrics ~npages:pages ()
+          match node with
+          | None -> Memory_backend.create_device ~tracer ~cfg ~params ~metrics ~npages:pages ()
+          | Some node -> (
+              match Memory_backend.attach ~node ~metrics ~npages:pages () with
+              | Ok r -> r
+              | Error `Out_of_memory ->
+                  metrics.Metrics.out_of_memory <- true;
+                  raise Out_of_memory)
         in
         let stock = Page_stock.create_of_bitmaps ~line_size:cfg.Config.line_size ~bitmaps () in
         (Memory_backend.Device st, stock, Array.length bitmaps, None)

@@ -104,13 +104,30 @@ let verify_all : bool ref = ref false
 
 let set_verify (b : bool) : unit = verify_all := b
 
+(* [Config.name] is lossy by design (it names result rows, not points of
+   the configuration space), so the key spells out every axis the name
+   omits — [defrag_occupancy] and the full device/arrival parameter set.
+   Before this audit two configs differing only in, say, clustering or
+   buffer capacity would alias one memo entry; fleet cells additionally
+   encode their arrival/pool parameters in the profile name, so they can
+   never alias a non-fleet cell. *)
+let device_key (cfg : Holes.Config.t) : string =
+  match cfg.Holes.Config.backend with
+  | Holes.Config.Static -> "static"
+  | Holes.Config.Device d ->
+      Printf.sprintf "dev:e%g:s%g:c%s:b%d:dr%d:wa%b" d.Holes.Config.wear.Holes_pcm.Wear.mean_endurance
+        d.Holes.Config.wear.Holes_pcm.Wear.sigma
+        (match d.Holes.Config.clustering with None -> "-" | Some n -> string_of_int n)
+        d.Holes.Config.buffer_capacity d.Holes.Config.dram_pages d.Holes.Config.wear_aware_pools
+
 let cache_key (cfg : Holes.Config.t) (profile : Holes_workload.Profile.t) (p : params) : string =
   (* [verify] changes no serialized result, but the verify_passes means
      must not be served from a verifier-off memo entry (or vice versa) *)
-  Printf.sprintf "%s|h%.3f|d%b|n%b|v%b|%s|s%.4f|n%d|seed%d" (Holes.Config.name cfg)
-    cfg.Holes.Config.heap_factor cfg.Holes.Config.defrag cfg.Holes.Config.nursery_copy
+  Printf.sprintf "%s|h%.3f|d%b|o%.3f|n%b|v%b|%s|%s|s%.4f|n%d|seed%d" (Holes.Config.name cfg)
+    cfg.Holes.Config.heap_factor cfg.Holes.Config.defrag cfg.Holes.Config.defrag_occupancy
+    cfg.Holes.Config.nursery_copy
     (cfg.Holes.Config.verify || !verify_all)
-    profile.Holes_workload.Profile.name p.scale p.seeds
+    (device_key cfg) profile.Holes_workload.Profile.name p.scale p.seeds
     cfg.Holes.Config.seed
 
 type raw_trial = {

@@ -31,6 +31,7 @@ type outcome = {
   allocs : int;
   injections : int;  (** direct dynamic-failure strikes on live objects *)
   wl_toggles : int;  (** mid-run wear-leveling stage toggles (device seeds) *)
+  churns : int;  (** mid-run tenant spawn/verify/detach cycles (device seeds) *)
   gcs : int;  (** nursery + full collections *)
   explicit_verifies : int;  (** verifier runs outside the post-GC hook *)
   verify_passes : int;  (** clean verifier runs, including post-GC hooks *)
@@ -44,6 +45,10 @@ let default_steps = 1200
 (* Torture heaps are deliberately tiny so that schedules reach GC,
    evacuation, overflow and perfect-block fallback within ~1k steps. *)
 let min_heap_bytes = 256 * 1024
+
+(* Heap of the short-lived neighbour VM a churn op places on the same
+   device node (device seeds only). *)
+let churn_heap_bytes = 64 * 1024
 
 let repro_command ~(seed : int) ~(steps : int) : string =
   if steps = default_steps then
@@ -128,8 +133,27 @@ let config_of_seed (seed : int) : Cfg.t =
 let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
   let cfg = config_of_seed seed in
   let rng = Xrng.of_seed (0x5EED + (seed * 0x61C88647)) in
-  let vm = Vm.create ~cfg ~min_heap_bytes () in
-  let static = match cfg.Cfg.backend with Cfg.Static -> true | Cfg.Device _ -> false in
+  (* Device seeds bring up the node explicitly — sized for the main VM
+     plus a couple of churn neighbours — so the schedule can attach and
+     detach tenant VMs on the shared node mid-run, the way the fleet
+     pool does at eviction time. *)
+  let node =
+    match cfg.Cfg.backend with
+    | Cfg.Static -> None
+    | Cfg.Device params ->
+        let page_bytes = Holes_pcm.Geometry.page_bytes in
+        let pages_for heap =
+          let heap_bytes = int_of_float (cfg.Cfg.heap_factor *. float_of_int heap) in
+          let base = (heap_bytes + page_bytes - 1) / page_bytes in
+          if cfg.Cfg.compensate && cfg.Cfg.failure_rate > 0.0 then
+            int_of_float (ceil (float_of_int base /. (1.0 -. cfg.Cfg.failure_rate)))
+          else base
+        in
+        let device_pages = pages_for min_heap_bytes + (2 * pages_for churn_heap_bytes) in
+        Some (Holes.Memory_backend.create_node ~cfg ~params ~device_pages ())
+  in
+  let vm = Vm.create ~cfg ?node ~min_heap_bytes () in
+  let static = Option.is_none node in
   (* live set with O(1) random removal (swap with the last slot) *)
   let live = Array.make 8192 0 in
   let nlive = ref 0 in
@@ -164,6 +188,7 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
   let allocs = ref 0 in
   let injections = ref 0 in
   let wl_toggles = ref 0 in
+  let churns = ref 0 in
   let explicit_verifies = ref 0 in
   let steps_run = ref 0 in
   let completed = ref true in
@@ -171,6 +196,34 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
   let verify_now () =
     incr explicit_verifies;
     Verify.raise_on_errors (Vm.verify vm)
+  in
+  (* Tenant churn (device seeds): attach a short-lived neighbour VM to
+     the shared node, run it through allocation, deaths, a full
+     collection and the verifier, then detach it — the fleet pool's
+     place/evict cycle interleaved with the main schedule.  Placement
+     failure and a churn-VM OOM are legitimate on a crowded node; either
+     way the neighbour is detached and the *surviving* main VM must
+     still verify. *)
+  let churn (node : Holes.Memory_backend.node) =
+    incr churns;
+    match Vm.create ~cfg ~node ~min_heap_bytes:churn_heap_bytes () with
+    | exception Vm.Out_of_memory -> ()
+    | vm2 ->
+        Fun.protect
+          ~finally:(fun () ->
+            match Vm.device_state vm2 with
+            | Some st -> Holes.Memory_backend.detach st
+            | None -> ())
+          (fun () ->
+            (try
+               let ids =
+                 Array.init 24 (fun _ -> Vm.alloc vm2 ~size:(16 + Xrng.int rng 480) ())
+               in
+               Array.iteri (fun i id -> if i land 1 = 0 then Vm.kill vm2 id) ids;
+               Vm.collect vm2 ~full:true
+             with Vm.Out_of_memory -> ());
+            Verify.raise_on_errors (Vm.verify vm2));
+        verify_now ()
   in
   (* Out_of_memory ends the schedule (legitimately: the heap is tiny);
      Verify.Violation and anything else unexpected is a finding. *)
@@ -207,12 +260,14 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
                Vm.dynamic_failure vm ~id:live.(Xrng.int rng !nlive)
              end
            end
+           else if Xrng.int rng 2 = 0 then churn (Option.get node)
            else begin
-             (* device seeds reuse the injection slot to toggle the
-                wear-leveling stage mid-run: enable installs a stage over
-                the already-holed device (freezing its unusable set),
-                disable pauses it — both stress on_failure re-translation
-                and the gap-line evacuate/re-reserve path under load *)
+             (* device seeds split the injection slot between tenant
+                churn (above) and toggling the wear-leveling stage
+                mid-run: enable installs a stage over the already-holed
+                device (freezing its unusable set), disable pauses it —
+                both stress on_failure re-translation and the gap-line
+                evacuate/re-reserve path under load *)
              incr wl_toggles;
              let psi = 24 + Xrng.int rng 96 in
              let next =
@@ -252,6 +307,7 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
     allocs = !allocs;
     injections = !injections;
     wl_toggles = !wl_toggles;
+    churns = !churns;
     gcs = m.Metrics.full_gcs + m.Metrics.nursery_gcs;
     explicit_verifies = !explicit_verifies;
     verify_passes = m.Metrics.verify_passes;

@@ -1,0 +1,104 @@
+(** Open-loop request arrival processes for fleet tenants.
+
+    Serving systems are driven open-loop: requests arrive on their own
+    schedule whether or not the server keeps up, which is exactly what
+    exposes queueing delay when a tenant's device ages and its GC/retire
+    work inflates service times.  Two processes are provided: plain
+    Poisson (exponential inter-arrival gaps) and a two-state MMPP
+    (Markov-modulated Poisson) that alternates between a calm state at
+    the base rate and a burst state at [burst ×] the base rate, with
+    exponentially distributed state dwell times — the standard bursty
+    open-loop model.
+
+    All sampling draws from an explicit {!Holes_stdx.Xrng.t}, so a
+    tenant's arrival schedule is a pure function of its seed. *)
+
+open Holes_stdx
+
+type process =
+  | Poisson of { rate : float }  (** requests per second *)
+  | Mmpp of { rate : float; burst : float; dwell_ms : float }
+      (** calm rate [rate] req/s, burst rate [rate *. burst], exponential
+          state dwell with mean [dwell_ms] *)
+
+let validate (p : process) : (unit, string) result =
+  match p with
+  | Poisson { rate } ->
+      if rate <= 0.0 then Error "arrival rate must be positive" else Ok ()
+  | Mmpp { rate; burst; dwell_ms } ->
+      if rate <= 0.0 then Error "arrival rate must be positive"
+      else if burst < 1.0 then Error "burst factor must be >= 1"
+      else if dwell_ms <= 0.0 then Error "dwell must be positive"
+      else Ok ()
+
+(** Parse a CLI spec: ["poisson:RATE"], ["mmpp:RATE:BURST:DWELL_MS"], or
+    a bare number (Poisson).  Inverse of {!to_cli}. *)
+let of_cli (s : string) : (process, string) result =
+  let num v = float_of_string_opt v in
+  let parsed =
+    match String.split_on_char ':' s with
+    | [ "poisson"; r ] -> Option.map (fun rate -> Poisson { rate }) (num r)
+    | [ "mmpp"; r; b; d ] -> (
+        match (num r, num b, num d) with
+        | Some rate, Some burst, Some dwell_ms -> Some (Mmpp { rate; burst; dwell_ms })
+        | _ -> None)
+    | [ r ] -> Option.map (fun rate -> Poisson { rate }) (num r)
+    | _ -> None
+  in
+  match parsed with
+  | None -> Error (Printf.sprintf "cannot parse arrival process %S" s)
+  | Some p -> ( match validate p with Ok () -> Ok p | Error e -> Error e)
+
+let to_cli (p : process) : string =
+  match p with
+  | Poisson { rate } -> Printf.sprintf "poisson:%g" rate
+  | Mmpp { rate; burst; dwell_ms } -> Printf.sprintf "mmpp:%g:%g:%g" rate burst dwell_ms
+
+(** Compact name for configuration labels (no [':'], sink-friendly). *)
+let name (p : process) : string =
+  match p with
+  | Poisson { rate } -> Printf.sprintf "poisson%g" rate
+  | Mmpp { rate; burst; dwell_ms } -> Printf.sprintf "mmpp%gx%gd%g" rate burst dwell_ms
+
+(** Time-averaged request rate (req/s); MMPP states have equal mean
+    dwell, so the average is the midpoint of the two rates. *)
+let mean_rate (p : process) : float =
+  match p with
+  | Poisson { rate } -> rate
+  | Mmpp { rate; burst; _ } -> rate *. (1.0 +. burst) /. 2.0
+
+type t = {
+  proc : process;
+  rng : Xrng.t;
+  mutable bursting : bool;
+  mutable dwell_left_ns : float;  (** time left in the current MMPP state *)
+}
+
+let make (proc : process) (rng : Xrng.t) : t =
+  let dwell_left_ns =
+    match proc with
+    | Poisson _ -> infinity
+    | Mmpp { dwell_ms; _ } -> Dist.exponential rng ~mean:(dwell_ms *. 1e6)
+  in
+  { proc; rng; bursting = false; dwell_left_ns }
+
+(** Nanoseconds until the next arrival.  For MMPP, a gap that overruns
+    the current state's dwell advances to the state boundary, switches
+    state and resamples — the exponential is memoryless, so restarting
+    the gap at the boundary under the new rate is exact. *)
+let rec next_gap_ns (t : t) : float =
+  match t.proc with
+  | Poisson { rate } -> Dist.exponential t.rng ~mean:(1e9 /. rate)
+  | Mmpp { rate; burst; dwell_ms } ->
+      let r = if t.bursting then rate *. burst else rate in
+      let gap = Dist.exponential t.rng ~mean:(1e9 /. r) in
+      if gap <= t.dwell_left_ns then begin
+        t.dwell_left_ns <- t.dwell_left_ns -. gap;
+        gap
+      end
+      else begin
+        let consumed = t.dwell_left_ns in
+        t.bursting <- not t.bursting;
+        t.dwell_left_ns <- Dist.exponential t.rng ~mean:(dwell_ms *. 1e6);
+        consumed +. next_gap_ns t
+      end

@@ -1,0 +1,172 @@
+(** One pooled device and the tenant VMs placed on it.
+
+    The pool owns a shared {!Holes.Memory_backend.node} — the PCM
+    module, its VMM and interrupt handler — sized for [slots] tenants
+    plus placement slack, and a slot per tenant.  Each slot's VM is a
+    full failure-aware process attached to the node
+    ({!Holes.Vm.create}[ ~node]); tenants therefore share the device's
+    pools, wear state and interrupt chain, and a tenant on a dying
+    device really does inherit its neighbours' damage.
+
+    End-of-life handling: a request that OOMs marks the tenant for
+    eviction — the VM is {!Holes.Memory_backend.detach}ed (its pages
+    return to the node's pools; their wear persists) and a fresh VM is
+    placed on the same node.  After [max_replacements] placements, or
+    when the node can no longer back a heap, the slot is permanently
+    dead and its arrivals are dropped.  Cross-device migration is
+    deliberately out of scope: devices are the determinism shards
+    ({!Sim}), so tenants never leave their device. *)
+
+open Holes_stdx
+module Pcm = Holes_pcm
+module Osal = Holes_osal
+module Trace = Holes_obs.Trace
+module Profile = Holes_workload.Profile
+
+type slot = {
+  tenant : Tenant.t;
+  mutable vm : Holes.Vm.t option;  (** [None] = permanently dead *)
+  mutable replacements : int;
+}
+
+type t = {
+  cfg : Holes.Config.t;
+  node : Holes.Memory_backend.node;
+  slots : slot array;
+  min_heap_bytes : int;
+  max_replacements : int;
+  srng : Xrng.t;  (** storm injection stream *)
+  mutable evictions : int;
+}
+
+(* Replicate Vm.create's heap sizing so the device can be provisioned
+   before any VM exists: heap_factor × min_heap in pages, grown to
+   h/(1-f) under compensation. *)
+let pages_per_tenant (cfg : Holes.Config.t) ~(min_heap_bytes : int) : int =
+  let page_bytes = Pcm.Geometry.page_bytes in
+  let heap_bytes =
+    int_of_float (cfg.Holes.Config.heap_factor *. float_of_int min_heap_bytes)
+  in
+  let base = (heap_bytes + page_bytes - 1) / page_bytes in
+  if cfg.Holes.Config.compensate && cfg.Holes.Config.failure_rate > 0.0 then
+    int_of_float (ceil (float_of_int base /. (1.0 -. cfg.Holes.Config.failure_rate)))
+  else base
+
+let place (t : t) : Holes.Vm.t option =
+  match Holes.Vm.create ~cfg:t.cfg ~node:t.node ~min_heap_bytes:t.min_heap_bytes () with
+  | vm -> Some vm
+  | exception Holes.Vm.Out_of_memory -> None
+
+(** Bring up the device node (sized for [slots] tenants + 25% placement
+    slack) and place one VM per tenant.  [rng] seeds the per-tenant
+    sampling streams and the storm stream, in slot order. *)
+let create ?(tracer = Trace.null) ~(cfg : Holes.Config.t) ~(tenant : Tenant.params)
+    ~(slots : int) ?(max_replacements = 3) ~(rng : Xrng.t) () : t =
+  let params =
+    match cfg.Holes.Config.backend with
+    | Holes.Config.Device d -> d
+    | Holes.Config.Static -> invalid_arg "Fleet.Pool.create: requires the device backend"
+  in
+  let min_heap_bytes = Profile.min_heap tenant.Tenant.profile in
+  let ppt = pages_per_tenant cfg ~min_heap_bytes in
+  let device_pages = (slots * ppt * 5) / 4 in
+  let node = Holes.Memory_backend.create_node ~tracer ~cfg ~params ~device_pages () in
+  let t =
+    {
+      cfg;
+      node;
+      slots = [||];
+      min_heap_bytes;
+      max_replacements;
+      srng = Xrng.split rng;
+      evictions = 0;
+    }
+  in
+  let slots =
+    Array.init slots (fun _ ->
+        let tenant = Tenant.make tenant (Xrng.split rng) in
+        { tenant; vm = place t; replacements = 0 })
+  in
+  { t with slots }
+
+let alive (t : t) (i : int) : bool = t.slots.(i).vm <> None
+let dead_tenants (t : t) : int = Array.fold_left (fun n s -> if s.vm = None then n + 1 else n) 0 t.slots
+let evictions (t : t) : int = t.evictions
+let node (t : t) : Holes.Memory_backend.node = t.node
+let tenant (t : t) (i : int) : Tenant.t = t.slots.(i).tenant
+let vm (t : t) (i : int) : Holes.Vm.t option = t.slots.(i).vm
+
+(** Evict slot [i]: detach its VM from the node and try to place a
+    replacement.  The slot goes permanently dead when its replacement
+    budget is spent or the node cannot back another heap. *)
+let evict (t : t) (i : int) : unit =
+  let s = t.slots.(i) in
+  match s.vm with
+  | None -> ()
+  | Some vm ->
+      (match Holes.Vm.device_state vm with
+      | Some st -> Holes.Memory_backend.detach st
+      | None -> ());
+      s.vm <- None;
+      Tenant.reset s.tenant;
+      t.evictions <- t.evictions + 1;
+      s.replacements <- s.replacements + 1;
+      if s.replacements <= t.max_replacements then s.vm <- place t
+
+(** Serve one request on slot [i].  An OOM evicts the tenant and fails
+    the request: [`Evicted] if a replacement VM was placed (the next
+    request will be served fresh), [`Dead] if the slot is out of
+    lives. *)
+let serve (t : t) (i : int) : (Tenant.outcome, [ `Evicted | `Dead ]) result =
+  let s = t.slots.(i) in
+  match s.vm with
+  | None -> Error `Dead
+  | Some vm -> (
+      match Tenant.serve s.tenant vm with
+      | Ok o -> Ok o
+      | Error `Oom ->
+          evict t i;
+          if s.vm = None then Error `Dead else Error `Evicted)
+
+(* A retirement upcall during a storm can drive a tenant VM out of
+   memory (evacuating the failed line's objects needs space).  The
+   raiser sets its metrics flag before raising, so after swallowing the
+   exception the damaged slot is found by flag sweep and evicted. *)
+let sweep_oom (t : t) : unit =
+  Array.iteri
+    (fun i s ->
+      match s.vm with
+      | Some vm when (Holes.Vm.metrics vm).Holes.Metrics.out_of_memory -> evict t i
+      | _ -> ())
+    t.slots
+
+(** A failure storm: [writes] junk line-stores sprayed uniformly over
+    the device's usable lines, wearing them toward failure; the
+    interrupt chain is drained so retirements reach the owning tenants
+    before the next event.  Models background damage — scrubbing
+    traffic, a failing controller, a noisy neighbour outside the
+    fleet. *)
+let storm (t : t) ~(writes : int) : unit =
+  let dev = t.node.Holes.Memory_backend.n_device in
+  let irq = t.node.Holes.Memory_backend.n_interrupts in
+  let nlines = Pcm.Device.nlines dev in
+  let payload = Bytes.make Pcm.Geometry.line_bytes '\xEE' in
+  (try
+     for _ = 1 to writes do
+       let l = Xrng.int t.srng nlines in
+       if Pcm.Device.line_usable dev l then
+         match Pcm.Device.write dev l payload with
+         | Pcm.Device.Stored | Pcm.Device.Write_failed -> ()
+         | Pcm.Device.Stalled ->
+             (* failure-buffer pressure: drain and drop this store *)
+             ignore (Osal.Interrupts.service irq)
+     done;
+     ignore (Osal.Interrupts.service irq)
+   with Holes.Vm.Out_of_memory -> ());
+  sweep_oom t
+
+(** Wear statistics of the pooled device at this instant. *)
+let wear_cov (t : t) : float = Pcm.Device.wear_cov t.node.Holes.Memory_backend.n_device
+
+let device_stats (t : t) : Pcm.Device.stats =
+  Pcm.Device.stats t.node.Holes.Memory_backend.n_device

@@ -1,0 +1,203 @@
+(** Fleet-run reporting: per-device partial results and their
+    order-stable merge into the fleet-wide report.
+
+    A fleet run shards by device ({!Sim}); each shard accumulates a
+    [partial] — request counts, the request-latency histogram (whole run
+    and per age epoch), device wear and tenant-lifecycle counters — and
+    the driver folds the partials in device-index order, so the merged
+    report is bit-identical at any [-j].  Latencies are recorded in
+    virtual nanoseconds ({!Holes_obs.Stats.hist} log₂ buckets) and
+    reported in milliseconds. *)
+
+module Stats = Holes_obs.Stats
+
+type partial = {
+  device_index : int;
+  mutable arrived : int;  (** requests generated for live tenants *)
+  mutable completed : int;  (** requests served to completion *)
+  mutable good : int;  (** completed within the SLO *)
+  mutable dropped : int;  (** arrivals to permanently dead tenants *)
+  mutable failed : int;  (** requests aborted by OOM/eviction *)
+  latency : Stats.hist;  (** completion latency, ns *)
+  epoch : Stats.hist array;  (** latency split by completion-time epoch *)
+  mutable gc_ns : float;  (** collector time across the device's tenants *)
+  mutable wear_cov : float;  (** within-device wear CoV at run end *)
+  mutable device_writes : int;
+  mutable device_failures : int;
+  mutable evictions : int;
+  mutable dead_tenants : int;  (** slots with no replacement left *)
+  mutable end_ns : int;  (** virtual time when the device's queue drained *)
+}
+
+let partial ~(device_index : int) ~(epochs : int) : partial =
+  {
+    device_index;
+    arrived = 0;
+    completed = 0;
+    good = 0;
+    dropped = 0;
+    failed = 0;
+    latency = Stats.hist ();
+    epoch = Array.init (max 1 epochs) (fun _ -> Stats.hist ());
+    gc_ns = 0.0;
+    wear_cov = 0.0;
+    device_writes = 0;
+    device_failures = 0;
+    evictions = 0;
+    dead_tenants = 0;
+    end_ns = 0;
+  }
+
+let ns_to_ms (ns : float) : float = ns /. 1e6
+
+let quantiles_ms (h : Stats.hist) : float * float * float =
+  (ns_to_ms (Stats.quantile h 0.50), ns_to_ms (Stats.quantile h 0.99), ns_to_ms (Stats.quantile h 0.999))
+
+(** Flat metrics for the JSONL sink, one record per device shard. *)
+let partial_fields (p : partial) : (string * float) list =
+  let p50, p99, p999 = quantiles_ms p.latency in
+  let per_epoch =
+    List.concat
+      (List.mapi
+         (fun i h ->
+           [
+             (Printf.sprintf "epoch%d_p99_ms" i, ns_to_ms (Stats.quantile h 0.99));
+             (Printf.sprintf "epoch%d_count" i, float_of_int (Stats.count h));
+           ])
+         (Array.to_list p.epoch))
+  in
+  [
+    ("arrived", float_of_int p.arrived);
+    ("completed", float_of_int p.completed);
+    ("good", float_of_int p.good);
+    ("dropped", float_of_int p.dropped);
+    ("failed", float_of_int p.failed);
+    ("lat_mean_ms", ns_to_ms (Stats.mean p.latency));
+    ("lat_p50_ms", p50);
+    ("lat_p99_ms", p99);
+    ("lat_p999_ms", p999);
+    ("lat_max_ms", ns_to_ms (Stats.max_value p.latency));
+    ("gc_ms", ns_to_ms p.gc_ns);
+    ("wear_cov", p.wear_cov);
+    ("device_writes", float_of_int p.device_writes);
+    ("device_failures", float_of_int p.device_failures);
+    ("evictions", float_of_int p.evictions);
+    ("dead_tenants", float_of_int p.dead_tenants);
+    ("end_ms", ns_to_ms (float_of_int p.end_ns));
+  ]
+  @ per_epoch
+
+type t = {
+  devices : int;
+  tenants : int;
+  duration_ms : float;
+  arrived : int;
+  completed : int;
+  good : int;
+  dropped : int;
+  failed : int;
+  latency : Stats.hist;
+  epoch : Stats.hist array;
+  throughput_rps : float;  (** completions per second of arrival window *)
+  goodput_rps : float;  (** SLO-meeting completions per second *)
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  wear_cov_mean : float;  (** mean within-device wear CoV *)
+  wear_cov_max : float;
+  evictions : int;
+  dead_tenants : int;
+  device_writes : int;
+  device_failures : int;
+  gc_ms : float;
+}
+
+(** Fold per-device partials (callers pass them in device-index order;
+    every reduction here is order-insensitive anyway, so the merge is
+    deterministic under any scheduling). *)
+let merge ~(duration_ms : float) ~(tenants : int) (parts : partial list) : t =
+  let devices = List.length parts in
+  let sum (f : partial -> int) = List.fold_left (fun acc p -> acc + f p) 0 parts in
+  let sumf (f : partial -> float) = List.fold_left (fun acc p -> acc +. f p) 0.0 parts in
+  let latency = Stats.merged (List.map (fun (p : partial) -> p.latency) parts) in
+  let epochs =
+    List.fold_left (fun acc (p : partial) -> max acc (Array.length p.epoch)) 1 parts
+  in
+  let epoch =
+    Array.init epochs (fun i ->
+        Stats.merged
+          (List.filter_map
+             (fun (p : partial) -> if i < Array.length p.epoch then Some p.epoch.(i) else None)
+             parts))
+  in
+  let completed = sum (fun p -> p.completed) in
+  let good = sum (fun p -> p.good) in
+  let dur_s = duration_ms /. 1e3 in
+  let p50_ms, p99_ms, p999_ms = quantiles_ms latency in
+  {
+    devices;
+    tenants;
+    duration_ms;
+    arrived = sum (fun p -> p.arrived);
+    completed;
+    good;
+    dropped = sum (fun p -> p.dropped);
+    failed = sum (fun p -> p.failed);
+    latency;
+    epoch;
+    throughput_rps = (if dur_s > 0.0 then float_of_int completed /. dur_s else 0.0);
+    goodput_rps = (if dur_s > 0.0 then float_of_int good /. dur_s else 0.0);
+    p50_ms;
+    p99_ms;
+    p999_ms;
+    wear_cov_mean =
+      (if devices = 0 then 0.0 else sumf (fun p -> p.wear_cov) /. float_of_int devices);
+    wear_cov_max =
+      List.fold_left (fun acc (p : partial) -> Float.max acc p.wear_cov) 0.0 parts;
+    evictions = sum (fun p -> p.evictions);
+    dead_tenants = sum (fun p -> p.dead_tenants);
+    device_writes = sum (fun p -> p.device_writes);
+    device_failures = sum (fun p -> p.device_failures);
+    gc_ms = ns_to_ms (sumf (fun p -> p.gc_ns));
+  }
+
+(** Flat metrics of the merged report (figure rows, tests). *)
+let fields (t : t) : (string * float) list =
+  [
+    ("devices", float_of_int t.devices);
+    ("tenants", float_of_int t.tenants);
+    ("arrived", float_of_int t.arrived);
+    ("completed", float_of_int t.completed);
+    ("good", float_of_int t.good);
+    ("dropped", float_of_int t.dropped);
+    ("failed", float_of_int t.failed);
+    ("throughput_rps", t.throughput_rps);
+    ("goodput_rps", t.goodput_rps);
+    ("lat_p50_ms", t.p50_ms);
+    ("lat_p99_ms", t.p99_ms);
+    ("lat_p999_ms", t.p999_ms);
+    ("wear_cov_mean", t.wear_cov_mean);
+    ("wear_cov_max", t.wear_cov_max);
+    ("evictions", float_of_int t.evictions);
+    ("dead_tenants", float_of_int t.dead_tenants);
+    ("device_writes", float_of_int t.device_writes);
+    ("device_failures", float_of_int t.device_failures);
+    ("gc_ms", t.gc_ms);
+  ]
+  @ List.concat
+      (List.mapi
+         (fun i h -> [ (Printf.sprintf "epoch%d_p99_ms" i, ns_to_ms (Stats.quantile h 0.99)) ])
+         (Array.to_list t.epoch))
+
+let pp (ppf : Format.formatter) (t : t) : unit =
+  Format.fprintf ppf
+    "@[<v>fleet: %d tenants over %d devices, %.0f ms window@,\
+     requests: %d arrived, %d completed, %d good (SLO), %d failed, %d dropped@,\
+     throughput: %.1f req/s (goodput %.1f)@,\
+     latency: p50 %.3f ms, p99 %.3f ms, p999 %.3f ms@,\
+     wear CoV: mean %.4f, max %.4f@,\
+     lifecycle: %d evictions, %d dead tenants@,\
+     device: %d writes, %d wear failures; gc %.2f ms@]" t.tenants t.devices t.duration_ms
+    t.arrived t.completed t.good t.failed t.dropped t.throughput_rps t.goodput_rps t.p50_ms
+    t.p99_ms t.p999_ms t.wear_cov_mean t.wear_cov_max t.evictions t.dead_tenants
+    t.device_writes t.device_failures t.gc_ms

@@ -9,6 +9,12 @@ type t = {
   mutable free_perfect : int list;
   mutable free_imperfect : int list;  (** kept sorted by usable lines, desc *)
   mutable allocated : (int, unit) Hashtbl.t;
+  mutable wear_rank : (int -> int) option;
+      (** wear-aware grant ordering (Config.wear_aware_pools): maps a
+          physical page id to its accumulated wear; when installed,
+          [alloc_perfect] hands out the least-worn free page instead of
+          the free-list head.  Installed by the device backend at boot —
+          the OS has no wear counters of its own *)
 }
 
 let create ~(dram_pages : int) ~(pcm_pages : int) : t =
@@ -23,7 +29,12 @@ let create ~(dram_pages : int) ~(pcm_pages : int) : t =
     free_perfect = List.init pcm_pages (fun i -> dram_pages + i);
     free_imperfect = [];
     allocated = Hashtbl.create 64;
+    wear_rank = None;
   }
+
+(** Install (or clear) the wear-ordering hook consulted by
+    [alloc_perfect].  Deterministic: ties keep free-list order. *)
+let set_wear_rank (t : t) (rank : (int -> int) option) : unit = t.wear_rank <- rank
 
 let page (t : t) (id : int) : Page.t = t.pages.(id)
 
@@ -43,14 +54,28 @@ let alloc_dram (t : t) : int option =
       Hashtbl.replace t.allocated id ();
       Some id
 
-(** Allocate a perfect PCM page, if any remain. *)
+(** Allocate a perfect PCM page, if any remain.  With a wear rank
+    installed the least-worn free page is granted (first-seen wins
+    ties), spreading fresh traffic across the module; otherwise the
+    free-list head. *)
 let alloc_perfect (t : t) : int option =
-  match take_from t.free_perfect with
-  | None -> None
-  | Some (id, rest) ->
+  match (t.wear_rank, t.free_perfect) with
+  | _, [] -> None
+  | None, id :: rest ->
       t.free_perfect <- rest;
       Hashtbl.replace t.allocated id ();
       Some id
+  | Some rank, first :: rest ->
+      let best, _ =
+        List.fold_left
+          (fun (b, br) id ->
+            let r = rank id in
+            if r < br then (id, r) else (b, br))
+          (first, rank first) rest
+      in
+      t.free_perfect <- List.filter (fun x -> x <> best) t.free_perfect;
+      Hashtbl.replace t.allocated best ();
+      Some best
 
 (** Allocate an imperfect PCM page (most usable lines first). *)
 let alloc_imperfect (t : t) : int option =

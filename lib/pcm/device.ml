@@ -429,6 +429,20 @@ let wear_cov (t : t) : float =
   Array.iter (fun l -> Holes_obs.Stats.accumulate m (float_of_int l.Wear.writes)) t.lines;
   Holes_obs.Stats.cov m
 
+(** Accumulated write count over the physical lines currently backing
+    logical page [page] — the wear signal the OS page allocator consults
+    when [Config.wear_aware_pools] orders the free perfect pool.  Walks
+    the translation pipeline per line, so a leveling stage's remaps are
+    reflected. *)
+let page_wear (t : t) (page : int) : int =
+  if page < 0 || page >= t.config.pages then invalid_arg "Device.page_wear: page out of range";
+  let base = page * Geometry.lines_per_page in
+  let acc = ref 0 in
+  for i = 0 to Geometry.lines_per_page - 1 do
+    acc := !acc + t.lines.(physical_of_logical t (base + i)).Wear.writes
+  done;
+  !acc
+
 type wl_stats = {
   gap_moves : int;  (** start-gap movements *)
   remaps : int;  (** pair swaps (random remap / decoder swap) *)

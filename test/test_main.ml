@@ -21,4 +21,5 @@ let () =
       ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);
       ("backend", Test_backend.suite);
+      ("fleet", Test_fleet.suite);
     ]
