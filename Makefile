@@ -3,7 +3,7 @@
 # ocamlformat is available (the check is skipped, not failed, on
 # machines without it).
 
-.PHONY: all build test check fmt doc lint-md bench micro figures-quick fleet-quick speedup quickstart clean
+.PHONY: all build test check fmt doc lint-md bench bench-check micro figures-quick fleet-quick speedup quickstart clean
 
 MD_FILES := README.md DESIGN.md EXPERIMENTS.md CHANGES.md ROADMAP.md
 
@@ -22,8 +22,9 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-# API docs via odoc (the .mli comments in lib/obs and lib/engine).
-# Gated on odoc being installed; CI installs it and fails on warnings.
+# API docs via odoc (the .mli comments in lib/heap, lib/core, lib/obs
+# and lib/engine).  Gated on odoc being installed; CI installs it,
+# fails on warnings, and uploads the rendered HTML as an artifact.
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @doc; \
@@ -38,10 +39,21 @@ lint-md:
 
 check: build test lint-md fmt
 
-# Hot-path microbenchmarks (DESIGN.md §9): rewrites BENCH_hotpath.json,
-# preserving its before/after baseline fields when present.
+# Hot-path microbenchmarks (DESIGN.md §9, §13): rewrites
+# BENCH_hotpath.json, preserving its before/after baseline fields when
+# present.  Benchmarks build with --profile release: dune's dev profile
+# compiles .mli interfaces with -opaque, which blocks cross-module
+# inlining into the accessor-heavy hot paths (tests still run dev).
 bench:
-	dune exec bench/microbench.exe -- --before BENCH_hotpath.json --out BENCH_hotpath.json
+	dune exec --profile release bench/microbench.exe -- --before BENCH_hotpath.json --out BENCH_hotpath.json
+
+# Re-measure the kernels and fail if any regressed more than 15%
+# against the committed BENCH_hotpath.json (the CI microbench gate;
+# regressed kernels are re-measured before the verdict to shed
+# scheduling noise).  Same release profile as `make bench` — the
+# committed baseline and the gate must measure the same build.
+bench-check:
+	dune exec --profile release bench/microbench.exe -- --check BENCH_hotpath.json --tolerance 0.15 --retry 2
 
 # Operf-micro style latency table over the allocator entry points.
 micro:

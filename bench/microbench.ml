@@ -72,7 +72,7 @@ let hole_search_kernel () : int * (unit -> unit) =
           b)
     in
     let blk =
-      Holes_heap.Block.create ~index:0 ~base:0 ~line_size
+      Holes_heap.Block.create ~tbl:(Holes_heap.Block.table_create ()) ~index:0 ~base:0 ~line_size
         ~pages:(Array.init Holes_heap.Units.pages_per_block Fun.id)
         ~page_bitmap:(fun id -> bitmaps.(id))
     in

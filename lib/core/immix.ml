@@ -35,6 +35,10 @@ type t = {
           path is one array load instead of a hash probe, and iteration
           is ascending-index — the deterministic order every sweep and
           defrag pass uses. *)
+  btbl : Block.table;
+      (** the struct-of-arrays per-block metadata (free/failed counts,
+          hole bounds, flags), shared by every block and indexed by
+          block id — sweep and defrag selection stream over it *)
   mutable nblocks : int;  (** live (assembled, not dissolved) blocks *)
   page_owner : int array;
       (** stock page id -> owning block index, -1 when unassembled: the
@@ -42,7 +46,15 @@ type t = {
           all-blocks × all-pages scan the OS failure up-call used to
           pay *)
   mutable next_block_index : int;
-  mutable recyclable : int list;  (** block indices with free lines, address order *)
+  recyclable : Intvec.t;
+      (** block indices with free lines, address order; consumed front
+          to back through [recyclable_pos] (a cursor into a flat vector
+          instead of popping list cells) *)
+  mutable recyclable_pos : int;
+  mark_queue : Intvec.t;
+      (** the flat mark deque: slot ids are enqueued in ascending-id
+          order and drained in fixed-size batches, so the trace loop
+          runs over a dense int array (see [full_gc]) *)
   (* bump-pointer state: main cursor *)
   mutable cur_block : int;  (** -1 = none *)
   mutable cursor : int;
@@ -78,10 +90,13 @@ let create ?(tracer = Trace.null) ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics :
     objects;
     los;
     table = Array.make 256 None;
+    btbl = Block.table_create ();
     nblocks = 0;
     page_owner = Array.make (Page_stock.npages stock) (-1);
     next_block_index = 0;
-    recyclable = [];
+    recyclable = Intvec.create ();
+    recyclable_pos = 0;
+    mark_queue = Intvec.create ~capacity:256 ();
     cur_block = -1;
     cursor = 0;
     limit = 0;
@@ -89,7 +104,10 @@ let create ?(tracer = Trace.null) ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics :
     ovf_cursor = 0;
     ovf_limit = 0;
       remset = Remset.create ();
-      nursery = Intvec.create ();
+      (* pre-sized: the nursery absorbs every mutator allocation between
+         collections, and doubling it up from 16 re-copies the whole
+         vector log n times on the hottest path *)
+      nursery = Intvec.create ~capacity:1024 ();
       want_full = false;
       defrag_requested = false;
       post_gc_check = ignore;
@@ -139,7 +157,8 @@ let install_block (t : t) ~(pages : int array) : int =
   t.next_block_index <- t.next_block_index + 1;
   let empty_bitmap = Bitset.create Holes_pcm.Geometry.lines_per_page in
   let b =
-    Block.create ~index ~base:(index * block_bytes) ~line_size:t.cfg.Config.line_size ~pages
+    Block.create ~tbl:t.btbl ~index ~base:(index * block_bytes)
+      ~line_size:t.cfg.Config.line_size ~pages
       ~page_bitmap:(fun id ->
         if id = -1 then empty_bitmap else (Page_stock.page t.stock id).Page_stock.bitmap)
   in
@@ -204,7 +223,7 @@ let assemble_perfect_block (t : t) : int option =
   if not (take 0) then None
   else begin
     let bi = install_block t ~pages in
-    (block t bi).Block.perfect_grant <- true;
+    Block.set_perfect_grant (block t bi) true;
     Some bi
   end
 
@@ -225,11 +244,13 @@ let dissolve_block (t : t) (b : Block.t) : unit =
 (* Bump allocation                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let charge_alloc (t : t) ~(size : int) : unit =
+let[@inline] charge_alloc (t : t) ~(size : int) : unit =
   let w = weights t in
   Cost.charge t.cost (w.Cost.alloc_fast +. (w.Cost.alloc_byte *. float_of_int size))
 
-(* Place an object at the main cursor (caller guarantees fit). *)
+(* Place an object at the main cursor (caller guarantees fit).  This is
+   the true bump fast path: bump, account the touched lines, charge —
+   no option boxing, no closure, no search. *)
 let place_at_cursor (t : t) ~(size : int) : int =
   let addr = t.cursor in
   t.cursor <- t.cursor + size;
@@ -264,75 +285,83 @@ let set_cursor_to_hole (t : t) (b : Block.t) ~(from_line : int) ~(min_bytes : in
   end
 
 (* Small-object allocation without triggering collection.  Returns the
-   address or None (heap exhausted at this instant). *)
-let rec alloc_small_nogc (t : t) ~(size : int) : int option =
-  if t.cur_block >= 0 && t.cursor + size <= t.limit then Some (place_at_cursor t ~size)
+   address, or -1 when the heap is exhausted at this instant.  The fast
+   path is a single compare against the bump limit; [find_hole] is only
+   re-entered on hole exhaustion (the slow path below). *)
+let rec alloc_small_nogc (t : t) ~(size : int) : int =
+  if t.cur_block >= 0 && t.cursor + size <= t.limit then place_at_cursor t ~size
+  else alloc_small_slow t ~size
+
+and alloc_small_slow (t : t) ~(size : int) : int =
+  let w = weights t in
+  (* advance to the next hole in the current block *)
+  let advanced =
+    t.cur_block >= 0
+    &&
+    let b = block t t.cur_block in
+    let from_line = (t.limit - b.Block.base) / b.Block.line_size in
+    let ok = set_cursor_to_hole t b ~from_line ~min_bytes:size in
+    if ok then begin
+      Cost.charge t.cost w.Cost.hole_skip;
+      t.metrics.Metrics.hole_skips <- t.metrics.Metrics.hole_skips + 1;
+      if Trace.armed t.tracer then
+        Trace.instant t.tracer ~tid:Trace.tid_alloc "hole_skip"
+    end;
+    ok
+  in
+  if advanced then place_at_cursor t ~size
   else begin
-    let w = weights t in
-    (* advance to the next hole in the current block *)
-    let advanced =
-      t.cur_block >= 0
-      &&
-      let b = block t t.cur_block in
-      let from_line = (t.limit - b.Block.base) / b.Block.line_size in
-      let ok = set_cursor_to_hole t b ~from_line ~min_bytes:size in
-      if ok then begin
-        Cost.charge t.cost w.Cost.hole_skip;
-        t.metrics.Metrics.hole_skips <- t.metrics.Metrics.hole_skips + 1;
-        if Trace.armed t.tracer then
-          Trace.instant t.tracer ~tid:Trace.tid_alloc "hole_skip"
-      end;
-      ok
+    (* recycled blocks first (Immix allocation order, Sec. 4.1): walk
+       the flat recyclable vector through its cursor *)
+    let rec try_recyclable () =
+      if t.recyclable_pos >= Intvec.length t.recyclable then false
+      else begin
+        let bi = Intvec.unsafe_get t.recyclable t.recyclable_pos in
+        t.recyclable_pos <- t.recyclable_pos + 1;
+        let b = block t bi in
+        Block.set_recyclable b false;
+        Cost.charge t.cost w.Cost.block_open;
+        if set_cursor_to_hole t b ~from_line:0 ~min_bytes:size then true else try_recyclable ()
+      end
     in
-    if advanced then Some (place_at_cursor t ~size)
-    else begin
-      (* recycled blocks first (Immix allocation order, Sec. 4.1) *)
-      let rec try_recyclable () =
-        match t.recyclable with
-        | [] -> false
-        | bi :: rest ->
-            t.recyclable <- rest;
-            let b = block t bi in
-            b.Block.recyclable <- false;
-            Cost.charge t.cost w.Cost.block_open;
-            if set_cursor_to_hole t b ~from_line:0 ~min_bytes:size then true else try_recyclable ()
-      in
-      if try_recyclable () then Some (place_at_cursor t ~size)
-      else
-        (* then completely free blocks from the global pool *)
-        match assemble_block t with
-        | None -> None
-        | Some bi ->
-            Cost.charge t.cost w.Cost.block_open;
-            let b = block t bi in
-            if set_cursor_to_hole t b ~from_line:0 ~min_bytes:size then
-              Some (place_at_cursor t ~size)
-            else begin
-              (* an extremely damaged block can lack any usable hole;
-                 return its pages immediately and try the next one *)
-              dissolve_block t b;
-              alloc_small_nogc t ~size
-            end
-    end
+    if try_recyclable () then place_at_cursor t ~size
+    else
+      (* then completely free blocks from the global pool *)
+      match assemble_block t with
+      | None -> -1
+      | Some bi ->
+          Cost.charge t.cost w.Cost.block_open;
+          let b = block t bi in
+          if set_cursor_to_hole t b ~from_line:0 ~min_bytes:size then place_at_cursor t ~size
+          else begin
+            (* an extremely damaged block can lack any usable hole;
+               return its pages immediately and try the next one *)
+            dissolve_block t b;
+            alloc_small_nogc t ~size
+          end
   end
 
 (* Medium-object overflow allocation (Sec. 4.1 "overflow allocation",
-   failure-aware re-search per Sec. 4.2). *)
-type medium_result =
-  | Placed of int
-  | Needs_gc  (** memory genuinely exhausted: collect and retry *)
-  | Needs_perfect
-      (** free memory exists but is too fragmented for this object:
-          request a perfect block (no collection would change the static
-          holes) *)
+   failure-aware re-search per Sec. 4.2).  Returns the address, or one
+   of two negative sentinels (no variant boxing on the alloc path):
+   [needs_gc] — memory genuinely exhausted: collect and retry;
+   [needs_perfect] — free memory exists but is too fragmented for this
+   object: request a perfect block (no collection would change the
+   static holes).
 
-let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
+   The 2–8 line medium fast path: a medium object whose size fits the
+   current bump run is placed directly at the cursor — it never touches
+   the overflow state, the LOS table, or a hole search. *)
+let needs_gc = -1
+let needs_perfect = -2
+
+let alloc_medium_nogc (t : t) ~(size : int) : int =
   let w = weights t in
   (* fits the current bump run? then no overflow needed *)
-  if t.cur_block >= 0 && t.cursor + size <= t.limit then Placed (place_at_cursor t ~size)
+  if t.cur_block >= 0 && t.cursor + size <= t.limit then place_at_cursor t ~size
   else begin
     t.metrics.Metrics.overflow_allocs <- t.metrics.Metrics.overflow_allocs + 1;
-    if t.ovf_block >= 0 && t.ovf_cursor + size <= t.ovf_limit then Placed (place_at_ovf t ~size)
+    if t.ovf_block >= 0 && t.ovf_cursor + size <= t.ovf_limit then place_at_ovf t ~size
     else begin
       (* failure-aware change: search the remainder of the overflow block
          for a suitably sized hole before giving up on it *)
@@ -359,7 +388,7 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
             true
         end
       in
-      if search_ovf () then Placed (place_at_ovf t ~size)
+      if search_ovf () then place_at_ovf t ~size
       else
         match assemble_block t with
         | Some bi -> (
@@ -375,7 +404,7 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
                 t.ovf_block <- bi;
                 t.ovf_cursor <- b.Block.base + (s * b.Block.line_size);
                 t.ovf_limit <- b.Block.base + (e * b.Block.line_size);
-                Placed (place_at_ovf t ~size)
+                place_at_ovf t ~size
             end
             else begin
                 (* even a completely fresh block has no big-enough hole:
@@ -383,38 +412,38 @@ let alloc_medium_nogc (t : t) ~(size : int) : medium_result =
                    obstacle.  A collection cannot help; hand the block's
                    pages back and request a perfect block. *)
                 dissolve_block t b;
-                Needs_perfect
+                needs_perfect
             end)
-        | None -> Needs_gc
+        | None -> needs_gc
     end
   end
 
 (* Perfect-block fallback for medium objects that cannot be placed in
-   imperfect memory (Sec. 3.3.3 / 4.2).  None when the perfect pool and
-   the DRAM borrow budget are both exhausted (caller collects/fails). *)
-let alloc_medium_perfect (t : t) ~(size : int) : int option =
+   imperfect memory (Sec. 3.3.3 / 4.2).  Returns -1 when the perfect
+   pool and the DRAM borrow budget are both exhausted (caller
+   collects/fails). *)
+let alloc_medium_perfect (t : t) ~(size : int) : int =
   t.metrics.Metrics.perfect_block_fallbacks <- t.metrics.Metrics.perfect_block_fallbacks + 1;
   if Trace.armed t.tracer then
     Trace.instant t.tracer ~tid:Trace.tid_alloc "perfect_fallback"
       ~args:[ ("size", float_of_int size) ];
   match assemble_perfect_block t with
-  | None -> None
+  | None -> -1
   | Some bi ->
       Cost.charge t.cost (weights t).Cost.block_open;
       t.ovf_block <- bi;
       let b = block t bi in
       t.ovf_cursor <- b.Block.base;
       t.ovf_limit <- b.Block.base + block_bytes;
-      Some (place_at_ovf t ~size)
+      place_at_ovf t ~size
 
-(* Allocation attempt without collection, dispatching on size class.
-   Used by evacuation and nursery copying, which must neither recurse
-   into a collection nor consume perfect blocks. *)
-let alloc_nogc (t : t) ~(size : int) : int option =
+(* Allocation attempt without collection, dispatching on size class:
+   the address, or -1.  Used by evacuation and nursery copying, which
+   must neither recurse into a collection nor consume perfect blocks. *)
+let alloc_nogc (t : t) ~(size : int) : int =
   if is_medium t ~size then
-    match alloc_medium_nogc t ~size with
-    | Placed a -> Some a
-    | Needs_gc | Needs_perfect -> None
+    let r = alloc_medium_nogc t ~size in
+    if r >= 0 then r else -1
   else alloc_small_nogc t ~size
 
 (* ------------------------------------------------------------------ *)
@@ -434,22 +463,26 @@ let reset_cursors (t : t) : unit =
   t.ovf_cursor <- 0;
   t.ovf_limit <- 0
 
-(* Rebuild the recyclable list: every block with free lines, in address
-   order (excluding [except]). *)
+(* The fused sweep: one ascending pass over the blocks that (per block,
+   via [Block.sweep]) recomputes the exact hole bound from the packed
+   free map, clears the recyclable flag, and reads the free-line count
+   — then rebuilds the recyclable vector in address order (excluding
+   [except]).  The sweep charge is per line-mark word scanned, exactly
+   as before the fusion. *)
 let rebuild_recyclable (t : t) ~(except : Block.t -> bool) : unit =
   let w = weights t in
-  let acc = ref [] in
-  (* ascending-index iteration: the list is built already sorted *)
+  Intvec.clear t.recyclable;
+  t.recyclable_pos <- 0;
+  (* ascending-index iteration: the vector is built already sorted *)
   iter_blocks t (fun b ->
       Cost.charge t.cost (w.Cost.sweep_line *. float_of_int b.Block.nlines);
-      b.Block.recyclable <- false;
-      if b.Block.free_lines > 0 && (not (except b)) && b.Block.index <> t.cur_block
+      let free = Block.sweep b in
+      if free > 0 && (not (except b)) && b.Block.index <> t.cur_block
          && b.Block.index <> t.ovf_block
       then begin
-        b.Block.recyclable <- true;
-        acc := b.Block.index :: !acc
-      end);
-  t.recyclable <- List.rev !acc
+        Block.set_recyclable b true;
+        Intvec.push t.recyclable b.Block.index
+      end)
 
 (* Evacuate the live, unpinned objects of [b] using the normal allocator
    (no collection recursion).  Evacuation is opportunistic, as in Immix:
@@ -468,19 +501,20 @@ let evacuate_block (t : t) (b : Block.t) : int =
         let addr = Object_table.addr t.objects id in
         if addr / block_bytes = b.Block.index then begin
           let size = Object_table.size t.objects id in
-          match alloc_nogc t ~size with
-          | None -> incr left
-          | Some new_addr ->
-              Block.remove_object_lines b ~addr ~size;
-              Object_table.relocate t.objects id ~new_addr;
-              (block_of_addr t new_addr).Block.objs |> fun v -> Intvec.push v id;
-              Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
-              t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size;
-              t.metrics.Metrics.objects_evacuated <- t.metrics.Metrics.objects_evacuated + 1
+          let new_addr = alloc_nogc t ~size in
+          if new_addr < 0 then incr left
+          else begin
+            Block.remove_object_lines b ~addr ~size;
+            Object_table.relocate t.objects id ~new_addr;
+            Intvec.push (block_of_addr t new_addr).Block.objs id;
+            Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+            t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size;
+            t.metrics.Metrics.objects_evacuated <- t.metrics.Metrics.objects_evacuated + 1
+          end
         end
       end)
     ids;
-  b.Block.evacuate <- false;
+  Block.set_evacuate b false;
   !left
 
 (* Select the blocks a full collection will evacuate: blocks flagged by
@@ -499,11 +533,11 @@ let prepare_defrag (t : t) : Block.t list * int =
     else t.cfg.Config.defrag_occupancy
   in
   iter_blocks t (fun b ->
-      let usable = b.Block.nlines - b.Block.failed_lines in
+      let usable = b.Block.nlines - Block.failed_lines b in
       if usable > 0 then begin
-        let live_lines = usable - b.Block.free_lines in
+        let live_lines = usable - Block.free_lines b in
         let ratio = float_of_int live_lines /. float_of_int usable in
-        if b.Block.evacuate then begin
+        if Block.evacuate b then begin
           flagged := b :: !flagged;
           incr n_flagged
         end
@@ -527,6 +561,41 @@ let prepare_defrag (t : t) : Block.t list * int =
   let n_evacuated = if n_sparse = 0 then 0 else (n_sparse / 2) + 1 in
   (flagged @ evacuated, n_flagged + n_evacuated)
 
+(* Trace or reclaim one slot — the body of the mark loop.  Liveness is
+   oracle-driven ([Object_table.is_alive]); live objects charge their
+   mark costs and rebuild line accounting, dead ones are released (LOS
+   entries free their pages).  The two interleave in ascending-id
+   order: that single order is what makes the figures bit-identical
+   across runs, so batching below preserves it exactly. *)
+let mark_slot (t : t) (w : Cost.weights) (id : int) : unit =
+  if Object_table.is_alive t.objects id then begin
+    let nrefs = Object_table.nrefs t.objects id in
+    Cost.charge t.cost (w.Cost.mark_obj +. (w.Cost.mark_edge *. float_of_int nrefs));
+    let addr = Object_table.addr t.objects id in
+    if not (Object_table.is_los t.objects id) then begin
+      let b = block_of_addr t addr in
+      Block.add_object_lines b ~addr ~size:(Object_table.size t.objects id);
+      Intvec.push b.Block.objs id
+    end;
+    Object_table.clear_nursery_flag t.objects id
+  end
+  else begin
+    if Object_table.is_los t.objects id then
+      Los.free t.los ~addr:(Object_table.addr t.objects id);
+    Object_table.release t.objects id
+  end
+
+(* Drain the mark deque: a dense loop over the queued slot ids. *)
+let drain_mark_queue (t : t) (w : Cost.weights) : unit =
+  let q = t.mark_queue in
+  let n = Intvec.length q in
+  for i = 0 to n - 1 do
+    mark_slot t w (Intvec.unsafe_get q i)
+  done;
+  Intvec.clear q
+
+let mark_batch_size = 256
+
 (** A full-heap collection: trace all live objects, rebuild line marks,
     reclaim dead objects (Immix + LOS), dissolve empty blocks, then
     optionally defragment sparse or failure-hit blocks by evacuation. *)
@@ -538,25 +607,17 @@ let full_gc (t : t) : unit =
   Cost.charge t.cost w.Cost.gc_fixed;
   reset_cursors t;
   iter_blocks t Block.clear_marks;
-  (* trace live objects; reclaim dead ones *)
+  (* trace live objects; reclaim dead ones.  Slot ids stream through
+     the flat mark deque and are popped in batches: the scan that
+     filters occupied slots runs ahead of the processing loop, which
+     then works over a dense, prefetch-friendly id array.  Batches
+     drain in enqueue order, so the charge sequence is exactly the
+     per-slot loop's. *)
   if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "mark";
   Object_table.iter_slots t.objects (fun id ->
-      if Object_table.is_alive t.objects id then begin
-        let nrefs = List.length (Object_table.refs t.objects id) in
-        Cost.charge t.cost (w.Cost.mark_obj +. (w.Cost.mark_edge *. float_of_int nrefs));
-        let addr = Object_table.addr t.objects id in
-        if not (Object_table.is_los t.objects id) then begin
-          let b = block_of_addr t addr in
-          Block.add_object_lines b ~addr ~size:(Object_table.size t.objects id);
-          Intvec.push b.Block.objs id
-        end;
-        Object_table.clear_nursery_flag t.objects id
-      end
-      else begin
-        if Object_table.is_los t.objects id then
-          Los.free t.los ~addr:(Object_table.addr t.objects id);
-        Object_table.release t.objects id
-      end);
+      Intvec.push t.mark_queue id;
+      if Intvec.length t.mark_queue >= mark_batch_size then drain_mark_queue t w);
+  drain_mark_queue t w;
   if armed then Trace.end_span t.tracer ~tid:Trace.tid_gc "mark";
   (* sweep: dissolve empty blocks — a single ascending pass over the
      block table (dissolving only blanks the slot, so iterating while
@@ -633,20 +694,20 @@ let nursery_gc (t : t) : unit =
       end
       else begin
         let size = Object_table.size t.objects id in
-        let nrefs = List.length (Object_table.refs t.objects id) in
+        let nrefs = Object_table.nrefs t.objects id in
         Cost.charge t.cost (w.Cost.mark_obj +. (w.Cost.mark_edge *. float_of_int nrefs));
         (if t.cfg.Config.nursery_copy && (not (Object_table.is_pinned t.objects id))
             && not (Object_table.is_los t.objects id)
          then
            let addr = Object_table.addr t.objects id in
-           match alloc_nogc t ~size with
-           | None -> ()
-           | Some new_addr ->
-               Block.remove_object_lines (block_of_addr t addr) ~addr ~size;
-               Object_table.relocate t.objects id ~new_addr;
-               Intvec.push (block_of_addr t new_addr).Block.objs id;
-               Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
-               t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size);
+           let new_addr = alloc_nogc t ~size in
+           if new_addr >= 0 then begin
+             Block.remove_object_lines (block_of_addr t addr) ~addr ~size;
+             Object_table.relocate t.objects id ~new_addr;
+             Intvec.push (block_of_addr t new_addr).Block.objs id;
+             Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+             t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size
+           end);
         Object_table.clear_nursery_flag t.objects id
       end);
   Intvec.clear t.nursery;
@@ -673,50 +734,56 @@ let nursery_gc (t : t) : unit =
 (* Public mutator interface                                            *)
 (* ------------------------------------------------------------------ *)
 
+let oom (t : t) ~(size : int) : 'a =
+  t.metrics.Metrics.out_of_memory <- true;
+  t.metrics.Metrics.oom_request <- size;
+  raise Out_of_memory
+
+(* The collection-retry ladder, as top-level recursion (the previous
+   inner closures allocated four environments per call — on the hottest
+   path in the system). *)
+let rec alloc_attempt (t : t) ~(size : int) ~(generational : bool) (n : int) : int =
+  let r =
+    if is_medium t ~size then begin
+      let r = alloc_medium_nogc t ~size in
+      if r = needs_perfect then begin
+        (* static fragmentation, not garbage: go straight to a perfect
+           block (Sec. 4.2); escalate to collection only if even the
+           perfect grant is exhausted *)
+        let a = alloc_medium_perfect t ~size in
+        if a >= 0 then a else needs_gc
+      end
+      else r
+    end
+    else alloc_small_nogc t ~size
+  in
+  if r >= 0 then r else alloc_escalate t ~size ~generational n
+
+and alloc_escalate (t : t) ~(size : int) ~(generational : bool) (n : int) : int =
+  (* a medium that could not be placed signals fragmentation: ask the
+     next full collection to defragment *)
+  if is_medium t ~size then t.defrag_requested <- true;
+  if n = 0 && generational && not t.want_full then begin
+    nursery_gc t;
+    alloc_attempt t ~size ~generational 1
+  end
+  else if n <= 1 then begin
+    full_gc t;
+    alloc_attempt t ~size ~generational 2
+  end
+  else if is_medium t ~size then begin
+    let a = alloc_medium_perfect t ~size in
+    if a >= 0 then a else oom t ~size
+  end
+  else oom t ~size
+
 (** Allocate [size] bytes (pre-alignment) with the collection-retry
     ladder: nursery collection (sticky), then full collection, then the
     perfect-block fallback for medium objects; raises [Out_of_memory]
     when all fail. *)
 let alloc (t : t) ~(size : int) : int =
   let size = Units.aligned_size size in
-  let generational = Config.is_generational t.cfg.Config.collector in
-  let alloc_once () : medium_result =
-    if is_medium t ~size then alloc_medium_nogc t ~size
-    else match alloc_small_nogc t ~size with Some a -> Placed a | None -> Needs_gc
-  in
-  let oom () =
-    t.metrics.Metrics.out_of_memory <- true;
-    t.metrics.Metrics.oom_request <- size;
-    raise Out_of_memory
-  in
-  let rec attempt (n : int) : int =
-    match alloc_once () with
-    | Placed addr -> addr
-    | Needs_perfect -> (
-        (* static fragmentation, not garbage: go straight to a perfect
-           block (Sec. 4.2); escalate to collection only if even the
-           perfect grant is exhausted *)
-        match alloc_medium_perfect t ~size with
-        | Some addr -> addr
-        | None -> escalate n)
-    | Needs_gc -> escalate n
-  and escalate (n : int) : int =
-    (* a medium that could not be placed signals fragmentation: ask the
-       next full collection to defragment *)
-    if is_medium t ~size then t.defrag_requested <- true;
-    if n = 0 && generational && not t.want_full then begin
-      nursery_gc t;
-      attempt 1
-    end
-    else if n <= 1 then begin
-      full_gc t;
-      attempt 2
-    end
-    else if is_medium t ~size then
-      match alloc_medium_perfect t ~size with Some addr -> addr | None -> oom ()
-    else oom ()
-  in
-  attempt 0
+  alloc_attempt t ~size ~generational:(Config.is_generational t.cfg.Config.collector) 0
 
 (** Register a freshly allocated object id with its block and the
     nursery. *)
@@ -806,7 +873,7 @@ and dynamic_failure_in_block (t : t) ~(addr : int) ~(bi : int) ~(b : Block.t) : 
   end
   else begin
     (if affected <> [] then begin
-       b.Block.evacuate <- true;
+       Block.set_evacuate b true;
        full_gc t
      end);
     (* the block may have been dissolved by the collection *)
@@ -822,22 +889,23 @@ and dynamic_failure_in_block (t : t) ~(addr : int) ~(bi : int) ~(b : Block.t) : 
         let relocate_leftover (id : int) : unit =
           let size = Object_table.size t.objects id in
           let oa = Object_table.addr t.objects id in
-          match
-            match alloc_nogc t ~size with
-            | Some a -> Some a
-            | None -> alloc_medium_perfect t ~size
-          with
-          | None ->
-              t.metrics.Metrics.out_of_memory <- true;
-              t.metrics.Metrics.oom_request <- size;
-              raise Out_of_memory
-          | Some new_addr ->
-              Block.remove_object_lines b ~addr:oa ~size;
-              Object_table.relocate t.objects id ~new_addr;
-              Intvec.push (block_of_addr t new_addr).Block.objs id;
-              Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
-              t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size;
-              t.metrics.Metrics.objects_evacuated <- t.metrics.Metrics.objects_evacuated + 1
+          let new_addr =
+            let a = alloc_nogc t ~size in
+            if a >= 0 then a else alloc_medium_perfect t ~size
+          in
+          if new_addr < 0 then begin
+            t.metrics.Metrics.out_of_memory <- true;
+            t.metrics.Metrics.oom_request <- size;
+            raise Out_of_memory
+          end
+          else begin
+            Block.remove_object_lines b ~addr:oa ~size;
+            Object_table.relocate t.objects id ~new_addr;
+            Intvec.push (block_of_addr t new_addr).Block.objs id;
+            Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+            t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size;
+            t.metrics.Metrics.objects_evacuated <- t.metrics.Metrics.objects_evacuated + 1
+          end
         in
         List.iter relocate_leftover (overlapping ~alive_only:true);
         match Block.fail_line b ~line with

@@ -1,0 +1,168 @@
+(** Failure-aware Immix and Sticky Immix (paper Secs. 4.1–4.2).
+
+    Immix manages memory as 32 KB blocks of logical lines.  A bump
+    pointer allocates into contiguous runs of free lines and {e skips
+    over unavailable lines} — which is precisely why failure awareness
+    is a minimal extension: failed lines are a fourth line state that
+    the allocator skips exactly like live lines.  Medium objects (larger
+    than a line) that do not fit the current run go to a dedicated
+    overflow block; the failure-aware version searches the remainder of
+    the overflow block and only then falls back to requesting a perfect
+    block.  Sticky Immix adds generational behaviour via sticky mark
+    bits: objects allocated since the last collection form the logical
+    nursery, collected from the remembered set without touching old
+    objects.  Dynamic failures reuse the defragmentation machinery:
+    affected blocks are flagged and their live objects evacuated by a
+    full collection.
+
+    The heap-layout and fast-path design — the dense block table, the
+    struct-of-arrays block metadata, the bump cursors, and the flat
+    batched mark deque below — is documented in DESIGN.md §13.  The
+    record is exposed for the heap verifier and the adversarial failure
+    models, which inspect cursors and blocks directly. *)
+
+open Holes_stdx
+open Holes_heap
+
+exception Out_of_memory
+
+type t = {
+  cfg : Config.t;
+  cost : Cost.t;
+  metrics : Metrics.t;
+  stock : Page_stock.t;
+  objects : Object_table.t;
+  los : Los.t;
+  mutable table : Block.t option array;
+      (** block index -> block, dense.  Indices are monotonic (a
+          dissolved block's slot stays [None]), so the allocation fast
+          path is one array load instead of a hash probe, and iteration
+          is ascending-index — the deterministic order every sweep and
+          defrag pass uses. *)
+  btbl : Block.table;
+      (** the struct-of-arrays per-block metadata (free/failed counts,
+          hole bounds, flags), shared by every block and indexed by
+          block id — sweep and defrag selection stream over it *)
+  mutable nblocks : int;  (** live (assembled, not dissolved) blocks *)
+  page_owner : int array;
+      (** stock page id -> owning block index, -1 when unassembled: the
+          O(1) reverse index behind [find_page_owner] *)
+  mutable next_block_index : int;
+  recyclable : Intvec.t;
+      (** block indices with free lines, address order; consumed front
+          to back through [recyclable_pos] *)
+  mutable recyclable_pos : int;
+  mark_queue : Intvec.t;
+      (** the flat mark deque: slot ids are enqueued in ascending-id
+          order and drained in fixed-size batches, so the trace loop
+          runs over a dense int array *)
+  mutable cur_block : int;  (** main bump cursor's block; -1 = none *)
+  mutable cursor : int;
+  mutable limit : int;
+  mutable ovf_block : int;  (** overflow (medium-object) bump state *)
+  mutable ovf_cursor : int;
+  mutable ovf_limit : int;
+  remset : Remset.t;
+  nursery : Intvec.t;
+  mutable want_full : bool;  (** last nursery collection yielded too little *)
+  mutable defrag_requested : bool;
+      (** defragment at the next full collection (Immix defragments on
+          demand: set by allocation failures and dynamic failures) *)
+  mutable post_gc_check : unit -> unit;
+      (** paranoid-verifier hook, run at the end of every collection *)
+  tracer : Holes_obs.Trace.view;
+}
+
+val block_bytes : int
+
+val create :
+  ?tracer:Holes_obs.Trace.view ->
+  cfg:Config.t ->
+  cost:Cost.t ->
+  metrics:Metrics.t ->
+  stock:Page_stock.t ->
+  objects:Object_table.t ->
+  los:Los.t ->
+  unit ->
+  t
+
+val iter_blocks : t -> (Block.t -> unit) -> unit
+(** Ascending-index iteration over live blocks — the single
+    deterministic order used by every collection pass. *)
+
+val block_opt : t -> int -> Block.t option
+val block : t -> int -> Block.t
+val block_of_addr : t -> int -> Block.t
+
+val is_medium : t -> size:int -> bool
+(** Larger than one logical line (goes through overflow allocation)? *)
+
+val total_free_bytes : t -> int
+(** Free bytes in stock pages plus free lines inside assembled blocks. *)
+
+val alloc : t -> size:int -> int
+(** Allocate [size] bytes (pre-alignment) with the collection-retry
+    ladder: nursery collection (sticky), then full collection, then the
+    perfect-block fallback for medium objects; raises [Out_of_memory]
+    when all fail.  The fast path is a single compare against the bump
+    limit; the hole search runs only on hole exhaustion. *)
+
+val register : t -> id:int -> addr:int -> unit
+(** Register a freshly allocated object id with its block and the
+    nursery. *)
+
+val write_barrier : t -> src:int -> unit
+(** The generational write barrier: [src] (an old object) now references
+    a nursery object. *)
+
+val collect : t -> full:bool -> unit
+(** Force a collection (used by the VM's LOS retry path). *)
+
+val dynamic_failure : t -> addr:int -> unit
+(** Handle a dynamic line failure at byte address [addr] (Sec. 4.2).
+
+    The affected block is flagged for evacuation and a full (copying)
+    collection relocates any objects that overlap the failing line; only
+    then is the logical line marked failed — the failure buffer holds the
+    data in the interim, so no information is lost.  A pinned object on
+    the failing line cannot move: the OS instead remaps the page to a
+    perfect page (Sec. 3.3.3 "Pinning support"), so the software-visible
+    line never fails; we charge the page copy and a perfect-page grant.
+    Dynamic failures also update the backing page's bitmap in the stock,
+    so a reassembled block later sees the hole. *)
+
+val find_page_owner : t -> page:int -> (Block.t * int) option
+(** The assembled block (and page index within it) backed by stock page
+    [page], if any — the reverse lookup the OS failure up-call needs to
+    turn a page/line pair back into a heap address. *)
+
+val page_backing : t -> addr:int -> (int * int) option
+(** Stock page id and 64 B PCM line backing heap byte [addr], if the
+    address lies in an assembled block ([None] for DRAM-borrowed pages
+    and unassembled addresses). *)
+
+val request_defrag : t -> unit
+(** Request defragmentation at the next full collection (used by the
+    VM when the LOS runs short of pages: consolidation dissolves sparse
+    blocks back into stock pages). *)
+
+val live_blocks : t -> int
+
+val set_post_gc_check : t -> (unit -> unit) -> unit
+(** Install the paranoid-verifier hook run at the end of every
+    collection (replaces the previous hook). *)
+
+val bump_target : t -> int option
+(** The heap address the bump allocator will hand out next, if a bump
+    run is open (main cursor first, then overflow) — the target of the
+    adversarial worst-case-placement failure model. *)
+
+val random_line_addr : t -> Xrng.t -> int option
+(** A uniformly drawn logical-line address within the assembled blocks
+    (a failure storm's victim), [None] when no block is assembled. *)
+
+val check_invariants : t -> (unit, string) result
+(** Invariant checks (valid at any point, not just after a collection):
+    no {e live} object overlaps a failed line, and per-line live counts
+    match the object table exactly — dead objects awaiting collection
+    legitimately still hold their lines. *)

@@ -10,7 +10,9 @@
 open Holes_heap
 
 type entry = {
-  pages : int list;  (** page-stock ids backing the object; -1 = borrowed DRAM *)
+  pages : int array;
+      (** page-stock ids backing the object, in address order;
+          -1 = borrowed DRAM *)
   bytes : int;
 }
 
@@ -58,25 +60,27 @@ let can_allocate (t : t) ~(size : int) : bool =
 let alloc (t : t) ~(size : int) : int option =
   let w = t.cost.Cost.weights in
   let npages = pages_needed size in
-  let pages = ref [] in
+  let pages = Array.make npages (-2) in
+  let taken = ref 0 in
   let exhausted = ref false in
-  for _ = 1 to npages do
-    if not !exhausted then begin
-      Cost.charge t.cost w.Cost.perfect_request;
-      match Page_stock.take_perfect t.stock with
-      | Page_stock.Perfect id -> pages := id :: !pages
-      | Page_stock.Borrowed ->
-          Cost.charge t.cost w.Cost.dram_borrow;
-          pages := -1 :: !pages
-      | Page_stock.Exhausted -> exhausted := true
-    end
+  while (not !exhausted) && !taken < npages do
+    Cost.charge t.cost w.Cost.perfect_request;
+    (match Page_stock.take_perfect t.stock with
+    | Page_stock.Perfect id ->
+        pages.(!taken) <- id;
+        incr taken
+    | Page_stock.Borrowed ->
+        Cost.charge t.cost w.Cost.dram_borrow;
+        pages.(!taken) <- -1;
+        incr taken
+    | Page_stock.Exhausted -> exhausted := true)
   done;
   if !exhausted then begin
     (* roll back the pages already taken *)
-    List.iter
-      (fun id ->
-        if id = -1 then Page_stock.return_borrowed t.stock else Page_stock.return_page t.stock id)
-      !pages;
+    for i = 0 to !taken - 1 do
+      if pages.(i) = -1 then Page_stock.return_borrowed t.stock
+      else Page_stock.return_page t.stock pages.(i)
+    done;
     None
   end
   else begin
@@ -88,7 +92,7 @@ let alloc (t : t) ~(size : int) : int option =
     t.metrics.Metrics.los_pages <- t.metrics.Metrics.los_pages + npages;
     (* keyed by address until the object id is known; pages in address
        order, so offset / page_bytes indexes the backing page *)
-    Hashtbl.replace t.entries addr { pages = List.rev !pages; bytes = size };
+    Hashtbl.replace t.entries addr { pages; bytes = size };
     Some addr
   end
 
@@ -98,12 +102,13 @@ let free (t : t) ~(addr : int) : unit =
   | None -> invalid_arg "Los.free: unknown LOS address"
   | Some e ->
       let w = t.cost.Cost.weights in
-      Cost.charge t.cost (w.Cost.los_page *. float_of_int (List.length e.pages));
-      List.iter
+      let npages = Array.length e.pages in
+      Cost.charge t.cost (w.Cost.los_page *. float_of_int npages);
+      Array.iter
         (fun id ->
           if id = -1 then Page_stock.return_borrowed t.stock else Page_stock.return_page t.stock id)
         e.pages;
-      t.pages_in_use <- t.pages_in_use - List.length e.pages;
+      t.pages_in_use <- t.pages_in_use - npages;
       Hashtbl.remove t.entries addr
 
 (** Stock page id and 64 B PCM line backing byte [base + off] of the LOS
@@ -112,11 +117,13 @@ let free (t : t) ~(addr : int) : unit =
 let page_backing (t : t) ~(base : int) ~(off : int) : (int * int) option =
   match Hashtbl.find_opt t.entries base with
   | None -> None
-  | Some e -> (
+  | Some e ->
       let pb = Holes_pcm.Geometry.page_bytes in
-      match List.nth_opt e.pages (off / pb) with
-      | Some pg when pg >= 0 -> Some (pg, off mod pb / Holes_pcm.Geometry.line_bytes)
-      | _ -> None)
+      let i = off / pb in
+      if i < 0 || i >= Array.length e.pages then None
+      else
+        let pg = e.pages.(i) in
+        if pg >= 0 then Some (pg, off mod pb / Holes_pcm.Geometry.line_bytes) else None
 
 (** The LOS base address whose backing pages include stock page [page] —
     the reverse lookup for an OS-reported line failure.  Linear in the
@@ -124,7 +131,7 @@ let page_backing (t : t) ~(base : int) ~(off : int) : (int * int) option =
 let addr_backed_by (t : t) ~(page : int) : int option =
   Hashtbl.fold
     (fun a e acc ->
-      match acc with Some _ -> acc | None -> if List.mem page e.pages then Some a else None)
+      match acc with Some _ -> acc | None -> if Array.exists (( = ) page) e.pages then Some a else None)
     t.entries None
 
 (** Pages currently backing live LOS objects. *)

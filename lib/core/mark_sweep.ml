@@ -47,13 +47,24 @@ type t = {
   los : Los.t;
   blocks : (int, ms_block) Hashtbl.t;
   mutable next_block_index : int;
-  free_lists : (int * int) list array;  (** per class: (block index, cell) *)
+  free_lists : Intvec.t array;
+      (** per class: a LIFO of free cells packed as
+          [(block index lsl cell_bits) lor cell] — the cons list it
+          replaces, stored reversed (push/pop at the vector's end), so
+          pop order and therefore every object address is unchanged *)
   remset : Remset.t;
   nursery : Intvec.t;
   mutable want_full : bool;
 }
 
 let block_bytes = Units.block_bytes
+
+(* cell indices fit [cell_bits]: the smallest class carves
+   [block_bytes / 16] cells per block *)
+let cell_bits = 16
+let cell_mask = (1 lsl cell_bits) - 1
+
+let () = assert (block_bytes / size_classes.(0) <= cell_mask)
 
 let create ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics : Metrics.t) ~(stock : Page_stock.t)
     ~(objects : Object_table.t) ~(los : Los.t) : t =
@@ -68,7 +79,7 @@ let create ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics : Metrics.t) ~(stock : P
     los;
     blocks = Hashtbl.create 256;
     next_block_index = 0;
-    free_lists = Array.make (Array.length size_classes) [];
+    free_lists = Array.init (Array.length size_classes) (fun _ -> Intvec.create ());
     remset = Remset.create ();
     nursery = Intvec.create ();
     want_full = false;
@@ -111,8 +122,10 @@ let carve_block (t : t) (k : int) : bool =
       }
     in
     Hashtbl.replace t.blocks index b;
+    (* descending cells so cell 0 sits at the LIFO head, exactly as the
+       cons-prepend loop left it *)
     for c = ncells - 1 downto 0 do
-      t.free_lists.(k) <- (index, c) :: t.free_lists.(k)
+      Intvec.push t.free_lists.(k) ((index lsl cell_bits) lor c)
     done;
     Cost.charge t.cost (weights t).Cost.block_assemble;
     t.metrics.Metrics.blocks_assembled <- t.metrics.Metrics.blocks_assembled + 1;
@@ -123,22 +136,15 @@ let dissolve_block (t : t) (b : ms_block) : unit =
   Array.iter (fun id -> Page_stock.return_page t.stock id) b.pages;
   Hashtbl.remove t.blocks b.index;
   (* purge its cells from the class free list *)
-  t.free_lists.(b.klass) <-
-    List.filter (fun (bi, _) -> bi <> b.index) t.free_lists.(b.klass)
+  Intvec.filter_in_place t.free_lists.(b.klass) (fun v -> v lsr cell_bits <> b.index)
 
 let alloc_nogc (t : t) ~(size : int) : (int * int * int) option =
   match class_of_size size with
   | None -> invalid_arg "Mark_sweep.alloc: large objects belong to the LOS"
   | Some k -> (
       let w = weights t in
-      let pop () =
-        match t.free_lists.(k) with
-        | [] -> None
-        | (bi, c) :: rest ->
-            t.free_lists.(k) <- rest;
-            Some (bi, c)
-      in
-      let place (bi, c) =
+      let place v =
+        let bi = v lsr cell_bits and c = v land cell_mask in
         let b = Hashtbl.find t.blocks bi in
         b.free_cells <- b.free_cells - 1;
         Cost.charge t.cost
@@ -146,10 +152,11 @@ let alloc_nogc (t : t) ~(size : int) : (int * int * int) option =
           +. ((w.Cost.alloc_byte +. w.Cost.ms_byte) *. float_of_int size));
         (bi, c, b.base + (c * b.cell_size))
       in
-      match pop () with
-      | Some slot -> Some (place slot)
-      | None ->
-          if carve_block t k then Some (place (Option.get (pop ()))) else None)
+      let v = Intvec.pop_or t.free_lists.(k) ~default:(-1) in
+      if v >= 0 then Some (place v)
+      else if carve_block t k then
+        Some (place (Intvec.pop_or t.free_lists.(k) ~default:(-1)))
+      else None)
 
 (* Record the object occupying a cell (after the object id is known). *)
 let register_cell (t : t) ~(block : int) ~(cell : int) ~(id : int) : unit =
@@ -167,12 +174,12 @@ let full_gc (t : t) : unit =
   (* mark *)
   Object_table.iter_slots t.objects (fun id ->
       if Object_table.is_alive t.objects id then begin
-        let nrefs = List.length (Object_table.refs t.objects id) in
+        let nrefs = Object_table.nrefs t.objects id in
         Cost.charge t.cost (w.Cost.mark_obj +. (w.Cost.mark_edge *. float_of_int nrefs));
         Object_table.clear_nursery_flag t.objects id
       end);
   (* sweep: rebuild free lists; release dead objects *)
-  Array.fill t.free_lists 0 (Array.length t.free_lists) [];
+  Array.iter Intvec.clear t.free_lists;
   let empties = ref [] in
   Hashtbl.iter
     (fun _ b ->
@@ -189,7 +196,7 @@ let full_gc (t : t) : unit =
             b.cells.(c) <- -1
           end;
           b.free_cells <- b.free_cells + 1;
-          t.free_lists.(b.klass) <- (b.index, c) :: t.free_lists.(b.klass)
+          Intvec.push t.free_lists.(b.klass) ((b.index lsl cell_bits) lor c)
         end
       done;
       if b.free_cells = b.ncells then empties := b :: !empties)
@@ -227,14 +234,14 @@ let nursery_gc (t : t) : unit =
             let b, c = addr_to_cell t addr in
             b.cells.(c) <- -1;
             b.free_cells <- b.free_cells + 1;
-            t.free_lists.(b.klass) <- (b.index, c) :: t.free_lists.(b.klass);
+            Intvec.push t.free_lists.(b.klass) ((b.index lsl cell_bits) lor c);
             freed := !freed + b.cell_size
           end;
           Object_table.release t.objects id
         end
       end
       else begin
-        let nrefs = List.length (Object_table.refs t.objects id) in
+        let nrefs = Object_table.nrefs t.objects id in
         Cost.charge t.cost (w.Cost.mark_obj +. (w.Cost.mark_edge *. float_of_int nrefs));
         Object_table.clear_nursery_flag t.objects id
       end);

@@ -124,21 +124,21 @@ let check_block (c : ctx) (stock : Page_stock.t) (b : Block.t) : unit =
         Printf.sprintf "block %d line %d failed=%b but page bitmaps widen to %b" i l x w)
   done;
   check c
-    (!free = b.Block.free_lines)
-    (fun () -> Printf.sprintf "block %d free_lines=%d, recount %d" i b.Block.free_lines !free);
+    (!free = Block.free_lines b)
+    (fun () -> Printf.sprintf "block %d free_lines=%d, recount %d" i (Block.free_lines b) !free);
   check c
-    (!failed = b.Block.failed_lines)
+    (!failed = Block.failed_lines b)
     (fun () ->
-      Printf.sprintf "block %d failed_lines=%d, recount %d" i b.Block.failed_lines !failed);
+      Printf.sprintf "block %d failed_lines=%d, recount %d" i (Block.failed_lines b) !failed);
   check c
     (!free + !failed + !live = b.Block.nlines)
     (fun () ->
       Printf.sprintf "block %d lines do not sum: %d free + %d failed + %d live <> %d" i !free
         !failed !live b.Block.nlines);
   check c
-    (longest_free_run b <= b.Block.hole_bound)
+    (longest_free_run b <= Block.hole_bound b)
     (fun () ->
-      Printf.sprintf "block %d hole_bound %d below longest free run %d" i b.Block.hole_bound
+      Printf.sprintf "block %d hole_bound %d below longest free run %d" i (Block.hole_bound b)
         (longest_free_run b))
 
 let check_cursor (c : ctx) (s : Immix.t) ~(what : string) ~(bi : int) ~(cursor : int)
@@ -199,28 +199,28 @@ let run ~(metrics : Metrics.t) ~(objects : Object_table.t) ~(stock : Page_stock.
          strong form holds exactly while none has occurred. *)
       if metrics.Metrics.dynamic_failures = 0 then
         Immix.iter_blocks s (fun b ->
-            if b.Block.perfect_grant then
+            if Block.perfect_grant b then
               check c
-                (b.Block.failed_lines = 0)
+                (Block.failed_lines b = 0)
                 (fun () ->
                   Printf.sprintf "perfect-grant block %d has %d failed lines" b.Block.index
-                    b.Block.failed_lines)));
+                    (Block.failed_lines b))));
 
   (* -- LOS ----------------------------------------------------------- *)
   let los_pages = ref 0 in
   Hashtbl.iter
     (fun addr (e : Los.entry) ->
-      List.iter
+      Array.iter
         (fun id ->
           incr los_pages;
           if id = -1 then incr borrowed_in_heap else claim id)
         e.Los.pages;
       let needed = max 1 ((e.Los.bytes + page_bytes - 1) / page_bytes) in
       check c
-        (List.length e.Los.pages = needed)
+        (Array.length e.Los.pages = needed)
         (fun () ->
           Printf.sprintf "LOS entry %d: %d pages backing %d bytes (need %d)" addr
-            (List.length e.Los.pages) e.Los.bytes needed))
+            (Array.length e.Los.pages) e.Los.bytes needed))
     los.Los.entries;
   check c
     (!los_pages = Los.pages_in_use los)
@@ -244,7 +244,7 @@ let run ~(metrics : Metrics.t) ~(objects : Object_table.t) ~(stock : Page_stock.
                 Printf.sprintf "LOS object %d: entry %d bytes, object %d" id e.Los.bytes
                   (Object_table.size objects id));
             if Object_table.is_alive objects id then
-              List.iter
+              Array.iter
                 (fun pg ->
                   if pg >= 0 then
                     check c

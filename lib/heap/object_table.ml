@@ -16,7 +16,11 @@ type t = {
   mutable size : int array;
   mutable flags : int array;
   mutable mark : int array;  (** epoch of last mark *)
-  mutable refs : int list array;  (** outgoing edges (object ids) *)
+  mutable ref_store : int array;
+      (** outgoing edges (object ids), flat with stride [max_refs] per
+          object — no list cells, and the per-object edge count the
+          mark loop charges by is an O(1) read of [nref] *)
+  mutable nref : int array;  (** per-object edge count (<= [max_refs]) *)
   mutable cap : int;
   mutable next_fresh : int;
   free_ids : Intvec.t;
@@ -35,6 +39,10 @@ let flag_pinned = 2
 let flag_nursery = 4  (* allocated since the last (full or nursery) collection *)
 let flag_los = 8
 
+(* fan-out cap: keeps trace costs bounded and realistic, and makes the
+   flat edge store a fixed stride *)
+let max_refs = 8
+
 let create () : t =
   let cap = 1024 in
   {
@@ -42,7 +50,8 @@ let create () : t =
     size = Array.make cap 0;
     flags = Array.make cap 0;
     mark = Array.make cap (-1);
-    refs = Array.make cap [];
+    ref_store = Array.make (cap * max_refs) 0;
+    nref = Array.make cap 0;
     cap;
     next_fresh = 0;
     free_ids = Intvec.create ();
@@ -62,7 +71,10 @@ let grow (t : t) : unit =
   t.size <- extend t.size 0;
   t.flags <- extend t.flags 0;
   t.mark <- extend t.mark (-1);
-  t.refs <- extend t.refs [];
+  (let b = Array.make (cap * max_refs) 0 in
+   Array.blit t.ref_store 0 b 0 (t.cap * max_refs);
+   t.ref_store <- b);
+  t.nref <- extend t.nref 0;
   t.cap <- cap
 
 let page_bytes = Holes_pcm.Geometry.page_bytes
@@ -89,13 +101,14 @@ let deindex_los_pages (t : t) ~(addr : int) ~(size : int) : unit =
 (** Allocate a fresh object id (recycled where possible). *)
 let alloc (t : t) ~(addr : int) ~(size : int) ~(pinned : bool) ~(los : bool) : int =
   let id =
-    match Intvec.pop t.free_ids with
-    | Some id -> id
-    | None ->
-        if t.next_fresh = t.cap then grow t;
-        let id = t.next_fresh in
-        t.next_fresh <- t.next_fresh + 1;
-        id
+    let id = Intvec.pop_or t.free_ids ~default:(-1) in
+    if id >= 0 then id
+    else begin
+      if t.next_fresh = t.cap then grow t;
+      let id = t.next_fresh in
+      t.next_fresh <- t.next_fresh + 1;
+      id
+    end
   in
   t.addr.(id) <- addr;
   t.size.(id) <- size;
@@ -103,7 +116,7 @@ let alloc (t : t) ~(addr : int) ~(size : int) ~(pinned : bool) ~(los : bool) : i
     flag_alive lor flag_nursery lor (if pinned then flag_pinned else 0)
     lor (if los then flag_los else 0);
   t.mark.(id) <- -1;
-  t.refs.(id) <- [];
+  t.nref.(id) <- 0;
   t.live_count <- t.live_count + 1;
   t.live_bytes <- t.live_bytes + size;
   if los then index_los_pages t ~addr ~size ~id;
@@ -115,14 +128,24 @@ let is_alive (t : t) (id : int) : bool = t.flags.(id) land flag_alive <> 0
 let is_pinned (t : t) (id : int) : bool = t.flags.(id) land flag_pinned <> 0
 let is_nursery (t : t) (id : int) : bool = t.flags.(id) land flag_nursery <> 0
 let is_los (t : t) (id : int) : bool = t.flags.(id) land flag_los <> 0
-let refs (t : t) (id : int) : int list = t.refs.(id)
+
+(** Outgoing edge count — the O(1) read the mark loop charges by. *)
+let[@inline] nrefs (t : t) (id : int) : int = Array.unsafe_get t.nref id
+
+(** Outgoing edges as a list, newest first (the [add_ref] prepend
+    order).  Builds a fresh list: diagnostic/test use only. *)
+let refs (t : t) (id : int) : int list =
+  let n = t.nref.(id) in
+  let base = id * max_refs in
+  let rec go i acc = if i >= n then acc else go (i + 1) (t.ref_store.(base + i) :: acc) in
+  go 0 []
 
 (** The mutator's death: the object becomes unreachable.  Space is
     reclaimed later, by a collection. *)
 let kill (t : t) (id : int) : unit =
   if is_alive t id then begin
     t.flags.(id) <- t.flags.(id) land lnot flag_alive;
-    t.refs.(id) <- [];
+    t.nref.(id) <- 0;
     t.live_count <- t.live_count - 1;
     t.live_bytes <- t.live_bytes - t.size.(id)
   end
@@ -154,9 +177,11 @@ let clear_nursery_flag (t : t) (id : int) : unit =
   t.flags.(id) <- t.flags.(id) land lnot flag_nursery
 
 let add_ref (t : t) ~(src : int) ~(dst : int) : unit =
-  (* cap fan-out to keep trace costs bounded and realistic *)
-  let r = t.refs.(src) in
-  if List.length r < 8 then t.refs.(src) <- dst :: r
+  let n = t.nref.(src) in
+  if n < max_refs then begin
+    t.ref_store.((src * max_refs) + n) <- dst;
+    t.nref.(src) <- n + 1
+  end
 
 let set_mark (t : t) (id : int) (epoch : int) : unit = t.mark.(id) <- epoch
 let marked (t : t) (id : int) (epoch : int) : bool = t.mark.(id) = epoch

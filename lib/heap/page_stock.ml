@@ -34,6 +34,14 @@ type t = {
   mutable free_perfect : int list;  (** ascending address order *)
   mutable free_imperfect : int list;  (** ascending address order *)
   mutable dead : int list;  (** pages with no usable logical line *)
+  mutable n_free_perfect : int;  (** [List.length free_perfect], O(1) *)
+  mutable n_free_imperfect : int;  (** [List.length free_imperfect], O(1) *)
+  mutable n_dead : int;  (** [List.length dead], O(1) *)
+  mutable free_usable_lines : int;
+      (** sum over free (perfect + imperfect) pages of their non-failed
+          PCM lines — kept incrementally so [free_usable_bytes], which
+          the LOS consults on every allocation, is O(1) instead of a
+          fold over both pools *)
   accounting : Holes_osal.Accounting.t;
   mutable borrowed_in_use : int;
   mutable repaid_pages : int;  (** pages surrendered to repay debt *)
@@ -49,18 +57,22 @@ type t = {
 
 let lines_per_page = Holes_pcm.Geometry.lines_per_page
 
-(* logical lines per page with no failed PCM line *)
+(* logical lines per page with no failed PCM line.  At the default
+   logical size (one PCM line) this is one word-level popcount; larger
+   logical lines accumulate a <=32-bit mask of tainted logical lines
+   from the set failure bits only. *)
 let count_usable_logical ~(line_size : int) (bitmap : Bitset.t) : int =
   let pcm_per_logical = line_size / Holes_pcm.Geometry.line_bytes in
   let nlogical = Holes_pcm.Geometry.page_bytes / line_size in
-  let usable = ref 0 in
-  for l = 0 to nlogical - 1 do
-    let rec any i =
-      i < pcm_per_logical && (Bitset.get bitmap ((l * pcm_per_logical) + i) || any (i + 1))
-    in
-    if not (any 0) then incr usable
-  done;
-  !usable
+  if pcm_per_logical = 1 then nlogical - Bitset.count bitmap
+  else begin
+    (* logical lines poisoned by any of their PCM lines, word-level *)
+    let shift = ref 0 in
+    while 1 lsl !shift < pcm_per_logical do
+      incr shift
+    done;
+    nlogical - Bitset.popcount (Bitset.group_mask bitmap ~shift:!shift)
+  end
 
 (** Build a stock from per-page failure bitmaps — one [Bitset.t] of 64
     bits per granted page, exactly the shape [Vmm.map_failures] returns
@@ -85,10 +97,23 @@ let create_of_bitmaps ?(line_size = Holes_pcm.Geometry.line_bytes)
         })
   in
   let perfect = ref [] and imperfect = ref [] and dead = ref [] in
+  let n_perfect = ref 0 and n_imperfect = ref 0 and n_dead = ref 0 in
+  let usable = ref 0 in
   for p = npages - 1 downto 0 do
-    if pages.(p).failed_lines = 0 then perfect := p :: !perfect
-    else if pages.(p).usable_logical = 0 then dead := p :: !dead
-    else imperfect := p :: !imperfect
+    if pages.(p).failed_lines = 0 then begin
+      perfect := p :: !perfect;
+      incr n_perfect;
+      usable := !usable + lines_per_page
+    end
+    else if pages.(p).usable_logical = 0 then begin
+      dead := p :: !dead;
+      incr n_dead
+    end
+    else begin
+      imperfect := p :: !imperfect;
+      incr n_imperfect;
+      usable := !usable + lines_per_page - pages.(p).failed_lines
+    end
   done;
   {
     pages;
@@ -96,6 +121,10 @@ let create_of_bitmaps ?(line_size = Holes_pcm.Geometry.line_bytes)
     free_perfect = !perfect;
     free_imperfect = !imperfect;
     dead = !dead;
+    n_free_perfect = !n_perfect;
+    n_free_imperfect = !n_imperfect;
+    n_dead = !n_dead;
+    free_usable_lines = !usable;
     accounting = Holes_osal.Accounting.create ();
     borrowed_in_use = 0;
     repaid_pages = 0;
@@ -113,11 +142,7 @@ let create ?(line_size = Holes_pcm.Geometry.line_bytes) ~(device_map : Bitset.t)
     invalid_arg "Page_stock.create: failure map too small";
   let bitmaps =
     Array.init npages (fun p ->
-        let bitmap = Bitset.create lines_per_page in
-        for i = 0 to lines_per_page - 1 do
-          if Bitset.get device_map ((p * lines_per_page) + i) then Bitset.set bitmap i
-        done;
-        bitmap)
+        Bitset.sub device_map ~pos:(p * lines_per_page) ~len:lines_per_page)
   in
   create_of_bitmaps ~line_size ~bitmaps ()
 
@@ -132,22 +157,19 @@ let page (t : t) (id : int) : page = t.pages.(id)
 
 let npages (t : t) : int = Array.length t.pages
 
-let free_perfect_count (t : t) : int = List.length t.free_perfect
+let free_perfect_count (t : t) : int = t.n_free_perfect
 
-let free_imperfect_count (t : t) : int = List.length t.free_imperfect
+let free_imperfect_count (t : t) : int = t.n_free_imperfect
 
-let free_pages (t : t) : int = free_perfect_count t + free_imperfect_count t
+let free_pages (t : t) : int = t.n_free_perfect + t.n_free_imperfect
 
 let accounting (t : t) : Holes_osal.Accounting.t = t.accounting
 
 (** Total usable (non-failed) lines across free pages — the allocator's
-    view of how much memory a collection could still yield. *)
-let free_usable_bytes (t : t) : int =
-  let line_bytes = Holes_pcm.Geometry.line_bytes in
-  let sum l =
-    List.fold_left (fun acc p -> acc + ((lines_per_page - t.pages.(p).failed_lines) * line_bytes)) 0 l
-  in
-  sum t.free_perfect + sum t.free_imperfect
+    view of how much memory a collection could still yield.  O(1): the
+    line total is maintained incrementally as pages enter and leave the
+    free pools. *)
+let free_usable_bytes (t : t) : int = t.free_usable_lines * Holes_pcm.Geometry.line_bytes
 
 (** Draw one page for a relaxed allocator.  Imperfect pages first; a
     perfect page is kept only if no debt is outstanding, otherwise it is
@@ -156,12 +178,16 @@ let rec take_relaxed (t : t) : int option =
   match t.free_imperfect with
   | p :: rest ->
       t.free_imperfect <- rest;
+      t.n_free_imperfect <- t.n_free_imperfect - 1;
+      t.free_usable_lines <- t.free_usable_lines - (lines_per_page - t.pages.(p).failed_lines);
       Some p
   | [] -> (
       match t.free_perfect with
       | [] -> None
       | p :: rest -> (
           t.free_perfect <- rest;
+          t.n_free_perfect <- t.n_free_perfect - 1;
+          t.free_usable_lines <- t.free_usable_lines - lines_per_page;
           match Holes_osal.Accounting.relaxed_offer_perfect t.accounting with
           | `Keep -> Some p
           | `Decline ->
@@ -182,6 +208,8 @@ let take_perfect (t : t) : perfect_grant =
   match t.free_perfect with
   | p :: rest ->
       t.free_perfect <- rest;
+      t.n_free_perfect <- t.n_free_perfect - 1;
+      t.free_usable_lines <- t.free_usable_lines - lines_per_page;
       Holes_osal.Accounting.fussy_request t.accounting ~pages:1 ~available:1;
       Perfect p
   | [] ->
@@ -201,12 +229,23 @@ let take_perfect (t : t) : perfect_grant =
 (** Return a stock page to its pool (dead pages are quarantined). *)
 let return_page (t : t) (id : int) : unit =
   let p = t.pages.(id) in
-  if p.failed_lines = 0 then t.free_perfect <- id :: t.free_perfect
-  else if p.usable_logical = 0 then t.dead <- id :: t.dead
-  else t.free_imperfect <- id :: t.free_imperfect
+  if p.failed_lines = 0 then begin
+    t.free_perfect <- id :: t.free_perfect;
+    t.n_free_perfect <- t.n_free_perfect + 1;
+    t.free_usable_lines <- t.free_usable_lines + lines_per_page
+  end
+  else if p.usable_logical = 0 then begin
+    t.dead <- id :: t.dead;
+    t.n_dead <- t.n_dead + 1
+  end
+  else begin
+    t.free_imperfect <- id :: t.free_imperfect;
+    t.n_free_imperfect <- t.n_free_imperfect + 1;
+    t.free_usable_lines <- t.free_usable_lines + (lines_per_page - p.failed_lines)
+  end
 
 (** Pages quarantined as fully unusable. *)
-let dead_count (t : t) : int = List.length t.dead
+let dead_count (t : t) : int = t.n_dead
 
 (** Return a borrowed DRAM page (it leaves the process; debt remains
     until the relaxed allocator repays it). *)
@@ -227,17 +266,27 @@ let mark_line_failed (t : t) ~(id : int) ~(line : int) : unit =
   let p = t.pages.(id) in
   if not (Bitset.get p.bitmap line) then begin
     let was_perfect = p.failed_lines = 0 in
+    let in_perfect = was_perfect && List.mem id t.free_perfect in
+    let in_imperfect = (not was_perfect) && List.mem id t.free_imperfect in
+    let old_usable = lines_per_page - p.failed_lines in
     Bitset.set p.bitmap line;
     p.failed_lines <- p.failed_lines + 1;
     p.usable_logical <- count_usable_logical ~line_size:t.line_size p.bitmap;
-    if was_perfect && List.mem id t.free_perfect then begin
+    if in_perfect then begin
       t.free_perfect <- List.filter (fun x -> x <> id) t.free_perfect;
-      return_page t id;
-      (* return_page pushed it to the right pool; drop the double count *)
-      ()
+      t.n_free_perfect <- t.n_free_perfect - 1;
+      t.free_usable_lines <- t.free_usable_lines - old_usable;
+      (* return_page pushes it to the right pool and recredits *)
+      return_page t id
     end
-    else if p.usable_logical = 0 && List.mem id t.free_imperfect then begin
-      t.free_imperfect <- List.filter (fun x -> x <> id) t.free_imperfect;
-      t.dead <- id :: t.dead
+    else if in_imperfect then begin
+      if p.usable_logical = 0 then begin
+        t.free_imperfect <- List.filter (fun x -> x <> id) t.free_imperfect;
+        t.n_free_imperfect <- t.n_free_imperfect - 1;
+        t.free_usable_lines <- t.free_usable_lines - old_usable;
+        t.dead <- id :: t.dead;
+        t.n_dead <- t.n_dead + 1
+      end
+      else t.free_usable_lines <- t.free_usable_lines - 1
     end
   end

@@ -1,0 +1,30 @@
+(** The remembered set for generational (sticky mark bits) collection.
+
+    The write barrier logs stores that create old→young references; a
+    nursery collection treats the logged sources as additional roots.
+    Duplicate-filtering is approximated with a coarse hash filter, as
+    production barriers do. *)
+
+type t = {
+  entries : Holes_stdx.Intvec.t;  (** source object ids *)
+  mutable filter : int array;  (** coarse duplicate filter *)
+  mutable barrier_hits : int;  (** total barrier slow-path executions *)
+}
+
+val create : unit -> t
+
+val record : t -> src:int -> bool
+(** Log a store of a reference to a nursery object into [src].  Returns
+    [true] when a new entry was recorded (slow path taken). *)
+
+val size : t -> int
+(** Logged entries (after duplicate filtering). *)
+
+val iter : t -> (int -> unit) -> unit
+(** Iterate the logged source ids in record order. *)
+
+val clear : t -> unit
+(** Empty the set and reset the duplicate filter (end of collection). *)
+
+val barrier_hits : t -> int
+(** Total barrier slow-path executions since creation. *)

@@ -1,0 +1,34 @@
+(** Heap geometry shared by every collector.
+
+    The paper's configuration (Sec. 5): Immix blocks of 32 KB, logical
+    lines of 64–256 B (256 B default), 4 KB OS pages, 64 B PCM lines. *)
+
+val block_bytes : int
+(** Immix block size in bytes (paper default 32 KB). *)
+
+val pages_per_block : int
+(** OS pages per Immix block: 8. *)
+
+val align : int
+(** Object alignment in bytes. *)
+
+val los_threshold : int
+(** Objects strictly larger than this go to the large object space.
+    Immix delegates objects above 8 KB to the page-grained LOS. *)
+
+val default_line_size : int
+(** Default Immix logical line size (bytes); the paper also evaluates 64
+    and 128. *)
+
+val valid_line_size : int -> bool
+(** Valid Immix line sizes: multiples of the 64 B PCM line that divide
+    the block size. *)
+
+val lines_per_block : line_size:int -> int
+(** Logical lines per 32 KB block at the given line size. *)
+
+val round_up : int -> int -> int
+(** [round_up n to_] rounds [n] up to a multiple of [to_]. *)
+
+val aligned_size : int -> int
+(** Size of an allocation request after alignment. *)

@@ -164,6 +164,26 @@ let iter_set (t : t) (f : int -> unit) : unit =
     done
   done
 
+(** [group_mask t ~shift] collapses the set into groups of [2^shift]
+    consecutive bit positions, returning the bitmask of groups that
+    contain at least one set bit.  Requires [length t <= 63 * 2^shift]
+    so the mask fits one word.  The page stock uses this to count
+    logical lines poisoned by any of their PCM lines without a closure
+    call per failure. *)
+let group_mask (t : t) ~(shift : int) : int =
+  if shift < 1 || t.len > bits_per_word lsl shift then
+    invalid_arg "Bitset.group_mask: groups do not fit one word";
+  let m = ref 0 in
+  for wi = 0 to Array.length t.words - 1 do
+    let w = ref (Array.unsafe_get t.words wi) in
+    let base = wi * bits_per_word in
+    while !w <> 0 do
+      m := !m lor (1 lsl ((base + ctz !w) lsr shift));
+      w := !w land (!w - 1)
+    done
+  done;
+  !m
+
 (** [subset a b] is true when every bit set in [a] is also set in [b].
     The OS swap policy (paper Sec. 3.2.3) uses this to test whether a
     destination page's failures are a subset of the source page's.
@@ -354,6 +374,67 @@ let count_runs (t : t) : int =
     carry := (w lsr (bits_per_word - 1)) land 1
   done;
   !runs
+
+(** [sub t ~pos ~len] extracts bits [pos .. pos + len - 1] into a fresh
+    bitset.  Word-level: each destination word gathers from at most two
+    source words, so slicing a 64-bit page bitmap out of a device-sized
+    failure map costs two loads instead of 64 per-bit get/set pairs. *)
+let sub (t : t) ~(pos : int) ~(len : int) : t =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bitset.sub: range out of bounds";
+  let dst = create len in
+  let src = t.words in
+  let nws = Array.length src in
+  let ndw = Array.length dst.words in
+  let wi = div63 pos in
+  let off = mod63 pos in
+  for j = 0 to ndw - 1 do
+    let w = wi + j in
+    let lo = if w < nws then Array.unsafe_get src w lsr off else 0 in
+    let hi =
+      if off = 0 || w + 1 >= nws then 0
+      else (Array.unsafe_get src (w + 1) lsl (bits_per_word - off)) land word_mask
+    in
+    Array.unsafe_set dst.words j (lo lor hi)
+  done;
+  if ndw > 0 then dst.words.(ndw - 1) <- dst.words.(ndw - 1) land tail_mask len;
+  dst
+
+(** [longest_run t] is the length of the longest maximal run of set
+    bits (0 when no bit is set).  All-ones and all-zero words cost one
+    compare each; runs crossing word boundaries are stitched by a
+    carried length.  The fused sweep uses this to recompute each
+    block's exact hole bound in one pass over the free map. *)
+let longest_run (t : t) : int =
+  let words = t.words in
+  let best = ref 0 in
+  let carry = ref 0 in
+  (* length of the set-run ending at the top of the previous word *)
+  for wi = 0 to Array.length words - 1 do
+    let w = Array.unsafe_get words wi in
+    if w = word_mask then carry := !carry + bits_per_word
+    else begin
+      (* the word's low ones extend the carried run, which ends here *)
+      let low = ctz (lnot w land word_mask) in
+      let ext = !carry + low in
+      if ext > !best then best := ext;
+      (* interior runs; one that reaches bit 62 seeds the next carry *)
+      let x = ref (w lsr low) in
+      let rem = ref (bits_per_word - low) in
+      let nextcarry = ref 0 in
+      while !x <> 0 do
+        let z = ctz !x in
+        x := !x lsr z;
+        rem := !rem - z;
+        let ones = ctz (lnot !x land word_mask) in
+        if ones >= !rem then nextcarry := ones else if ones > !best then best := ones;
+        x := !x lsr ones;
+        rem := !rem - ones
+      done;
+      carry := !nextcarry
+    end
+  done;
+  if !carry > !best then best := !carry;
+  !best
 
 let to_bool_array (t : t) : bool array = Array.init t.len (get t)
 

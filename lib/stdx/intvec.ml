@@ -36,6 +36,19 @@ let pop (t : t) : int option =
     Some t.data.(t.len)
   end
 
+(** [pop_or t ~default] removes and returns the last element, or
+    [default] when empty — the allocation-free pop for hot paths (no
+    option box). *)
+let[@inline] pop_or (t : t) ~(default : int) : int =
+  if t.len = 0 then default
+  else begin
+    t.len <- t.len - 1;
+    Array.unsafe_get t.data t.len
+  end
+
+(** Unchecked read — callers guarantee [0 <= i < length t]. *)
+let[@inline] unsafe_get (t : t) (i : int) : int = Array.unsafe_get t.data i
+
 (** Iterate without bounds-check overhead. *)
 let iter (t : t) (f : int -> unit) : unit =
   for i = 0 to t.len - 1 do

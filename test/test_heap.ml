@@ -65,12 +65,13 @@ let make_block ?(line_size = 256) ?(bitmaps : Bitset.t array option) () =
   let bitmaps =
     match bitmaps with Some b -> b | None -> Array.make Units.pages_per_block empty_bitmap
   in
-  Block.create ~index:0 ~base:0 ~line_size ~pages:(Array.init Units.pages_per_block Fun.id)
+  Block.create ~tbl:(Block.table_create ()) ~index:0 ~base:0 ~line_size
+    ~pages:(Array.init Units.pages_per_block Fun.id)
     ~page_bitmap:(fun id -> bitmaps.(id))
 
 let test_block_fresh () =
   let b = make_block () in
-  check Alcotest.int "all lines free" 128 b.Block.free_lines;
+  check Alcotest.int "all lines free" 128 (Block.free_lines b);
   Alcotest.(check bool) "empty" true (Block.is_empty b);
   Alcotest.(check bool) "perfect" true (Block.is_perfect b);
   check Alcotest.int "one big hole" 1 (Block.count_holes b)
@@ -82,22 +83,22 @@ let test_block_false_failure_widening () =
   let bitmaps = Array.make Units.pages_per_block empty_bitmap in
   bitmaps.(0) <- bm;
   let b = make_block ~bitmaps () in
-  check Alcotest.int "one logical line failed" 1 b.Block.failed_lines;
+  check Alcotest.int "one logical line failed" 1 (Block.failed_lines b);
   Alcotest.(check bool) "line 0 failed (widened)" true (Block.is_failed_line b 0);
   (* with 64B logical lines there is no widening *)
   let b64 = make_block ~line_size:64 ~bitmaps () in
-  check Alcotest.int "exactly one 64B line failed" 1 b64.Block.failed_lines;
+  check Alcotest.int "exactly one 64B line failed" 1 (Block.failed_lines b64);
   Alcotest.(check bool) "line 1 failed" true (Block.is_failed_line b64 1);
   Alcotest.(check bool) "line 0 fine" false (Block.is_failed_line b64 0)
 
 let test_block_object_lines () =
   let b = make_block () in
   Block.add_object_lines b ~addr:0 ~size:300 (* spans lines 0-1 *);
-  check Alcotest.int "two lines live" (128 - 2) b.Block.free_lines;
+  check Alcotest.int "two lines live" (128 - 2) (Block.free_lines b);
   Block.add_object_lines b ~addr:300 ~size:100 (* within line 1 *);
-  check Alcotest.int "shared line" (128 - 2) b.Block.free_lines;
+  check Alcotest.int "shared line" (128 - 2) (Block.free_lines b);
   Block.remove_object_lines b ~addr:0 ~size:300;
-  check Alcotest.int "line 1 still live" (128 - 1) b.Block.free_lines;
+  check Alcotest.int "line 1 still live" (128 - 1) (Block.free_lines b);
   Block.remove_object_lines b ~addr:300 ~size:100;
   Alcotest.(check bool) "empty again" true (Block.is_empty b)
 
@@ -143,8 +144,8 @@ let test_block_dynamic_fail_line () =
   let b = make_block () in
   Alcotest.(check bool) "was free" true (Block.fail_line b ~line:5 = `Was_free);
   Alcotest.(check bool) "already failed" true (Block.fail_line b ~line:5 = `Already_failed);
-  check Alcotest.int "failed count" 1 b.Block.failed_lines;
-  check Alcotest.int "free shrank" 127 b.Block.free_lines
+  check Alcotest.int "failed count" 1 (Block.failed_lines b);
+  check Alcotest.int "free shrank" 127 (Block.free_lines b)
 
 let test_block_clear_marks_preserves_failed () =
   let b = make_block () in
@@ -152,7 +153,7 @@ let test_block_clear_marks_preserves_failed () =
   Block.add_object_lines b ~addr:0 ~size:256;
   Block.clear_marks b;
   Alcotest.(check bool) "failed preserved" true (Block.is_failed_line b 7);
-  check Alcotest.int "others free" 127 b.Block.free_lines
+  check Alcotest.int "others free" 127 (Block.free_lines b)
 
 (* ------------------------- Page stock ------------------------- *)
 

@@ -136,7 +136,7 @@ let test_find_hole_vs_naive () =
           b)
     in
     let blk =
-      Block.create ~index:0 ~base:0 ~line_size
+      Block.create ~tbl:(Block.table_create ()) ~index:0 ~base:0 ~line_size
         ~pages:(Array.init Holes_heap.Units.pages_per_block Fun.id)
         ~page_bitmap:(fun id -> bitmaps.(id))
     in
@@ -188,7 +188,236 @@ let test_find_hole_vs_naive () =
     done
   done
 
+(* ---- bump fast path vs scan-per-refill reference ---------------------- *)
+
+let naive_longest_free_run (a : bool array) : int =
+  let best = ref 0 and cur = ref 0 in
+  Array.iter
+    (fun v ->
+      if v then begin
+        incr cur;
+        if !cur > !best then best := !cur
+      end
+      else cur := 0)
+    a;
+  !best
+
+let make_failed_block (rng : Rng.t) ~(line_size : int) ~(fail_p : float) : Block.t =
+  let lines_per_page = Holes_pcm.Geometry.lines_per_page in
+  let bitmaps =
+    Array.init Holes_heap.Units.pages_per_block (fun _ ->
+        let b = B.create lines_per_page in
+        for i = 0 to lines_per_page - 1 do
+          if Rng.float rng < fail_p then B.set b i
+        done;
+        b)
+  in
+  Block.create ~tbl:(Block.table_create ()) ~index:0 ~base:0 ~line_size
+    ~pages:(Array.init Holes_heap.Units.pages_per_block Fun.id)
+    ~page_bitmap:(fun id -> bitmaps.(id))
+
+(* The allocation fast path bumps a cursor through a previously found
+   hole and re-enters [find_hole] only on exhaustion (DESIGN.md §13).
+   The reference allocator below follows the identical refill policy —
+   scan from the spent hole's limit, wrap to the block start — but
+   performs every search as a naive per-bit scan over a mirrored free
+   map.  A packed-word scan bug, mis-maintained line accounting, or a
+   [hole_bound] cache that decays below the true longest run (rejecting
+   a satisfiable refill) all diverge the address sequences.  Churn
+   between allocations — object death anywhere, dynamic line failures
+   outside the active hole — is what ages the cached bound. *)
+let test_bump_vs_reference () =
+  let rng = Rng.of_seed 0xb04d in
+  let line_sizes = [| 64; 128; 256 |] in
+  for _case = 1 to 60 do
+    let ls = line_sizes.(Rng.int rng (Array.length line_sizes)) in
+    let blk = make_failed_block rng ~line_size:ls ~fail_p:(Rng.float rng *. 0.2) in
+    let nlines = blk.Block.nlines in
+    let free = Array.init nlines (fun l -> Block.line_state blk l = Block.Free) in
+    let flty = Array.init nlines (fun l -> Block.line_state blk l = Block.Failed) in
+    let live = Array.make nlines 0 in
+    let m_add addr size =
+      let lo = addr / ls and hi = (addr + size - 1) / ls in
+      for l = lo to hi do
+        if flty.(l) then Alcotest.failf "placement covers failed line %d" l;
+        if live.(l) = 0 then free.(l) <- false;
+        live.(l) <- live.(l) + 1
+      done
+    in
+    let m_remove addr size =
+      let lo = addr / ls and hi = (addr + size - 1) / ls in
+      for l = lo to hi do
+        live.(l) <- live.(l) - 1;
+        if live.(l) = 0 then free.(l) <- true
+      done
+    in
+    (* real side: Immix's cursor policy over the packed block *)
+    let cursor = ref 0 and limit = ref 0 in
+    let real_alloc size =
+      if !cursor + size <= !limit then begin
+        let a = !cursor in
+        cursor := a + size;
+        Block.add_object_lines blk ~addr:a ~size;
+        Some a
+      end
+      else
+        let refill from_line =
+          match Block.find_hole blk ~from_line ~min_bytes:size with
+          | Some (s, e, _) ->
+              cursor := s * ls;
+              limit := e * ls;
+              true
+          | None -> false
+        in
+        if refill (!limit / ls) || refill 0 then begin
+          let a = !cursor in
+          cursor := a + size;
+          Block.add_object_lines blk ~addr:a ~size;
+          Some a
+        end
+        else None
+    in
+    (* reference side: the same policy, every search a per-bit scan *)
+    let mcursor = ref 0 and mlimit = ref 0 in
+    let mirror_alloc size =
+      let needed = (size + ls - 1) / ls in
+      if !mcursor + size <= !mlimit then begin
+        let a = !mcursor in
+        mcursor := a + size;
+        m_add a size;
+        Some a
+      end
+      else
+        let refill from =
+          match naive_find_set_run free ~from ~min_len:needed with
+          | Some (s, e) ->
+              mcursor := s * ls;
+              mlimit := e * ls;
+              true
+          | None -> false
+        in
+        if refill (!mlimit / ls) || refill 0 then begin
+          let a = !mcursor in
+          mcursor := a + size;
+          m_add a size;
+          Some a
+        end
+        else None
+    in
+    let placed = ref [] in
+    for _op = 1 to 300 do
+      (match Rng.int rng 8 with
+      | 0 | 1 -> (
+          (* object death: reclaim a placed object *)
+          match !placed with
+          | (a, sz) :: rest ->
+              Block.remove_object_lines blk ~addr:a ~size:sz;
+              m_remove a sz;
+              placed := rest
+          | [] -> ())
+      | 2 -> (
+          (* dynamic failure on a free line outside the active hole *)
+          match naive_next_set free (Rng.int rng nlines) with
+          | Some l when l < !cursor / ls || l >= !limit / ls ->
+              (match Block.fail_line blk ~line:l with
+              | `Was_free -> ()
+              | _ -> Alcotest.fail "fail_line on mirrored-free line not `Was_free");
+              free.(l) <- false;
+              flty.(l) <- true
+          | _ -> ())
+      | _ ->
+          let size = 1 + Rng.int rng (4 * ls) in
+          let got = real_alloc size and want = mirror_alloc size in
+          check Alcotest.(option int) "bump address" want got;
+          (match got with Some a -> placed := (a, size) :: !placed | None -> ()));
+      check Alcotest.int "free_lines" (naive_count free) (Block.free_lines blk);
+      Alcotest.(check bool) "hole_bound is an upper bound" true
+        (naive_longest_free_run free <= Block.hole_bound blk)
+    done
+  done
+
+(* ---- mark deque vs oracle reference ----------------------------------- *)
+
+(* The flat batched mark deque replaced a per-slot recursive walk; the
+   observable contract is unchanged: after a full collection exactly the
+   oracle-live objects survive, every dead slot is released for reuse,
+   and the rebuilt block line accounting matches a naive recomputation
+   from the survivors — which is precisely what [Vm.verify] replays
+   (per-line live maps, counts, hole bounds, charge conservation). *)
+let test_mark_deque_vs_reference () =
+  let rng = Rng.of_seed 0x6c01 in
+  for _case = 1 to 6 do
+    let cfg = { Cfg.default with Cfg.failure_rate = 0.1 } in
+    let vm = Holes.Vm.create ~cfg ~min_heap_bytes:(2 * 1024 * 1024) () in
+    let objects = Holes.Vm.objects vm in
+    let ids = Array.init 800 (fun _ -> Holes.Vm.alloc vm ~size:(16 + Rng.int rng 240) ()) in
+    (* random edges, including from and into objects about to die: edge
+       charges are per-survivor, dead sources must not resurrect dsts *)
+    for _ = 1 to 1200 do
+      let s = ids.(Rng.int rng (Array.length ids)) in
+      let d = ids.(Rng.int rng (Array.length ids)) in
+      if s <> d then Holes.Vm.write_ref vm ~src:s ~dst:d
+    done;
+    Array.iter (fun id -> if Rng.bool rng then Holes.Vm.kill vm id) ids;
+    let expected_alive =
+      Array.to_list ids |> List.filter (Holes_heap.Object_table.is_alive objects)
+    in
+    Holes.Vm.collect vm ~full:true;
+    List.iter
+      (fun id ->
+        Alcotest.(check bool) "survivor alive" true
+          (Holes_heap.Object_table.is_alive objects id))
+      expected_alive;
+    Array.iter
+      (fun id ->
+        if not (Holes_heap.Object_table.is_alive objects id) then
+          check Alcotest.int "dead slot released" (-1)
+            (Holes_heap.Object_table.addr objects id))
+      ids;
+    check Alcotest.int "live_count" (List.length expected_alive)
+      (Holes_heap.Object_table.live_count objects);
+    match (Holes.Vm.verify vm).Holes.Verify.errors with
+    | [] -> ()
+    | e :: _ -> Alcotest.failf "verify after collect: %s" e
+  done
+
+(* ---- fused sweep vs naive per-line sweep ------------------------------ *)
+
+(* [Block.sweep] recomputes the hole bound in one word-level pass over
+   the packed free map.  The reference recomputes it per line from a
+   mirror rebuilt the way the mark loop rebuilds the block: clear, then
+   re-add the survivors. *)
+let test_fused_sweep_vs_naive () =
+  let rng = Rng.of_seed 0x53ee in
+  let line_sizes = [| 64; 128; 256 |] in
+  for _case = 1 to 200 do
+    let ls = line_sizes.(Rng.int rng (Array.length line_sizes)) in
+    let blk = make_failed_block rng ~line_size:ls ~fail_p:(Rng.float rng *. 0.3) in
+    let nlines = blk.Block.nlines in
+    Block.clear_marks blk;
+    let free = Array.init nlines (fun l -> Block.line_state blk l = Block.Free) in
+    (* re-add surviving objects, as the mark loop does *)
+    for _ = 1 to 40 do
+      let needed = 1 + Rng.int rng 4 in
+      match naive_find_set_run free ~from:(Rng.int rng nlines) ~min_len:needed with
+      | Some (s, _) ->
+          Block.add_object_lines blk ~addr:(s * ls) ~size:(needed * ls);
+          for l = s to s + needed - 1 do
+            free.(l) <- false
+          done
+      | None -> ()
+    done;
+    Block.set_recyclable blk true;
+    let freec = Block.sweep blk in
+    check Alcotest.int "sweep free count" (naive_count free) freec;
+    check Alcotest.int "sweep free_lines" (naive_count free) (Block.free_lines blk);
+    check Alcotest.int "sweep exact hole bound" (naive_longest_free_run free)
+      (Block.hole_bound blk);
+    Alcotest.(check bool) "sweep clears recyclable" false (Block.recyclable blk)
+  done
+
 (* ---- experiment-pipeline determinism golden --------------------------- *)
+
 
 let grid_cfgs = [ Cfg.default; { Cfg.default with Cfg.failure_rate = 0.25 } ]
 let grid_profiles = [ Holes_workload.Dacapo.luindex; Holes_workload.Dacapo.avrora ]
@@ -271,5 +500,8 @@ let suite =
   [
     ("bitset ops vs per-bit reference (12k cases)", `Quick, test_bitset_vs_naive);
     ("find_hole vs per-bit reference (12k queries)", `Quick, test_find_hole_vs_naive);
+    ("bump fast path vs scan-per-refill reference", `Quick, test_bump_vs_reference);
+    ("mark deque vs oracle reference", `Quick, test_mark_deque_vs_reference);
+    ("fused sweep vs naive per-line sweep", `Quick, test_fused_sweep_vs_naive);
     ("experiment grid matches golden, -j independent", `Quick, test_golden_determinism);
   ]

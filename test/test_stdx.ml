@@ -125,6 +125,77 @@ let test_discrete_invalid () =
   Alcotest.check_raises "empty" (Invalid_argument "Dist.Discrete.make: empty") (fun () ->
       ignore (Dist.Discrete.make []))
 
+(* The generator pinned against a plain-Int64 reference implementation
+   of SplitMix64 seeding + xoshiro256**.  [Xrng] runs the same
+   algorithm over 32-bit native-int halves to stay allocation-free on
+   the hot path; any drift in the bit-twiddling would silently change
+   every failure map and workload in the repo, so the equivalence is
+   asserted draw by draw, across seeds and through [split]. *)
+module Rng_ref = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  let splitmix_next (s : int64 ref) : int64 =
+    s := Int64.add !s golden;
+    let z = !s in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let of_seed (seed : int) : t =
+    let s = ref (Int64.of_int seed) in
+    let s0 = splitmix_next s in
+    let s1 = splitmix_next s in
+    let s2 = splitmix_next s in
+    let s3 = splitmix_next s in
+    let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
+    { s0; s1; s2; s3 }
+
+  let rotl (x : int64) (k : int) : int64 =
+    Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let next (t : t) : int64 =
+    let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+    let tt = Int64.shift_left t.s1 17 in
+    t.s2 <- Int64.logxor t.s2 t.s0;
+    t.s3 <- Int64.logxor t.s3 t.s1;
+    t.s1 <- Int64.logxor t.s1 t.s2;
+    t.s0 <- Int64.logxor t.s0 t.s3;
+    t.s2 <- Int64.logxor t.s2 tt;
+    t.s3 <- rotl t.s3 45;
+    result
+
+  let bits53 (t : t) : int = Int64.to_int (Int64.shift_right_logical (next t) 11)
+  let bool (t : t) : bool = Int64.logand (next t) 1L = 1L
+
+  let split (t : t) : t =
+    let s = ref (next t) in
+    let s0 = splitmix_next s in
+    let s1 = splitmix_next s in
+    let s2 = splitmix_next s in
+    let s3 = splitmix_next s in
+    let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
+    { s0; s1; s2; s3 }
+end
+
+let test_rng_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let x = Xrng.of_seed seed in
+      let r = Rng_ref.of_seed seed in
+      for _ = 1 to 2000 do
+        check Alcotest.int "bits53" (Rng_ref.bits53 r) (Xrng.bits53 x);
+        Alcotest.(check bool) "bool" (Rng_ref.bool r) (Xrng.bool x)
+      done;
+      let x' = Xrng.split x in
+      let r' = Rng_ref.split r in
+      for _ = 1 to 200 do
+        check Alcotest.int "bits53 after split (child)" (Rng_ref.bits53 r') (Xrng.bits53 x');
+        check Alcotest.int "bits53 after split (parent)" (Rng_ref.bits53 r) (Xrng.bits53 x)
+      done)
+    [ 0; 1; 42; 7; 123456789; -3 ]
+
 (* ------------------------- Bitset ------------------------- *)
 
 let test_bitset_basic () =
@@ -172,6 +243,76 @@ let prop_bitset_count =
     (fun a ->
       Bitset.count (Bitset.of_bool_array a)
       = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 a)
+
+(* Word-level Bitset primitives added for the hot-path work, each
+   checked against a naive bool-array reference over lengths straddling
+   the 63-bit word boundary. *)
+
+let naive_longest_run (a : bool array) : int =
+  let best = ref 0 and cur = ref 0 in
+  Array.iter
+    (fun v ->
+      if v then begin
+        incr cur;
+        if !cur > !best then best := !cur
+      end
+      else cur := 0)
+    a;
+  !best
+
+let random_bools (rng : Xrng.t) (n : int) ~(density : int) : bool array =
+  Array.init n (fun _ -> Xrng.int rng 100 < density)
+
+let boundary_lengths = [ 0; 1; 5; 62; 63; 64; 125; 126; 127; 189; 200 ]
+
+let test_bitset_longest_run_vs_naive () =
+  let rng = Xrng.of_seed 2024 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun density ->
+          for _ = 1 to 20 do
+            let a = random_bools rng n ~density in
+            check Alcotest.int
+              (Printf.sprintf "longest_run n=%d d=%d" n density)
+              (naive_longest_run a)
+              (Bitset.longest_run (Bitset.of_bool_array a))
+          done)
+        [ 0; 30; 70; 100 ])
+    boundary_lengths
+
+let test_bitset_sub_vs_naive () =
+  let rng = Xrng.of_seed 7 in
+  for _ = 1 to 400 do
+    let n = 1 + Xrng.int rng 200 in
+    let a = random_bools rng n ~density:50 in
+    let pos = Xrng.int rng (n + 1) in
+    let len = Xrng.int rng (n - pos + 1) in
+    let got = Bitset.to_bool_array (Bitset.sub (Bitset.of_bool_array a) ~pos ~len) in
+    if got <> Array.sub a pos len then
+      Alcotest.failf "sub mismatch n=%d pos=%d len=%d" n pos len
+  done;
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Bitset.sub: range out of bounds")
+    (fun () -> ignore (Bitset.sub (Bitset.create 10) ~pos:5 ~len:6))
+
+let test_bitset_group_mask_vs_naive () =
+  let rng = Xrng.of_seed 99 in
+  List.iter
+    (fun shift ->
+      for _ = 1 to 100 do
+        let n = 1 + Xrng.int rng (63 lsl shift) in
+        let a = random_bools rng n ~density:20 in
+        let expect = ref 0 in
+        Array.iteri (fun i v -> if v then expect := !expect lor (1 lsl (i lsr shift))) a;
+        check Alcotest.int
+          (Printf.sprintf "group_mask n=%d shift=%d" n shift)
+          !expect
+          (Bitset.group_mask (Bitset.of_bool_array a) ~shift)
+      done)
+    [ 1; 2; 3 ];
+  Alcotest.check_raises "groups too wide"
+    (Invalid_argument "Bitset.group_mask: groups do not fit one word") (fun () ->
+      ignore (Bitset.group_mask (Bitset.create 200) ~shift:1))
 
 (* ------------------------- Rle ------------------------- *)
 
@@ -260,6 +401,20 @@ let test_intvec_filter () =
   Intvec.filter_in_place v (fun x -> x mod 2 = 0);
   check (Alcotest.list Alcotest.int) "evens kept" [ 0; 2; 4; 6; 8 ] (Intvec.to_list v)
 
+let test_intvec_pop_or () =
+  let v = Intvec.create ~capacity:2 () in
+  check Alcotest.int "empty yields default" (-7) (Intvec.pop_or v ~default:(-7));
+  for i = 1 to 5 do
+    Intvec.push v i
+  done;
+  (* LIFO, same order [pop] would give, but without the option box *)
+  check Alcotest.int "pop 5" 5 (Intvec.pop_or v ~default:(-1));
+  check Alcotest.int "pop 4" 4 (Intvec.pop_or v ~default:(-1));
+  check Alcotest.int "unsafe_get" 3 (Intvec.unsafe_get v 2);
+  check Alcotest.int "length shrank" 3 (Intvec.length v);
+  Intvec.clear v;
+  check Alcotest.int "default after clear" 0 (Intvec.pop_or v ~default:0)
+
 (* ------------------------- Table ------------------------- *)
 
 let test_table_render () =
@@ -286,10 +441,14 @@ let suite =
     ("zipf skew", `Quick, test_zipf_skew);
     ("discrete weights", `Quick, test_discrete_weights);
     ("discrete invalid", `Quick, test_discrete_invalid);
+    ("rng matches int64 reference", `Quick, test_rng_matches_int64_reference);
     ("bitset basic", `Quick, test_bitset_basic);
     ("bitset fill", `Quick, test_bitset_fill);
     ("bitset subset", `Quick, test_bitset_subset);
     ("bitset next", `Quick, test_bitset_next);
+    ("bitset longest_run vs naive", `Quick, test_bitset_longest_run_vs_naive);
+    ("bitset sub vs naive", `Quick, test_bitset_sub_vs_naive);
+    ("bitset group_mask vs naive", `Quick, test_bitset_group_mask_vs_naive);
     ("rle sparse compression", `Quick, test_rle_compression_sparse);
     ("rle runs", `Quick, test_rle_runs);
     ("stats mean/geomean", `Quick, test_stats_mean_geomean);
@@ -299,6 +458,7 @@ let suite =
     ("heapq order", `Quick, test_heapq_order);
     ("intvec push/get", `Quick, test_intvec_push_get);
     ("intvec filter", `Quick, test_intvec_filter);
+    ("intvec pop_or", `Quick, test_intvec_pop_or);
     ("table render", `Quick, test_table_render);
   ]
   @ List.map QCheck_alcotest.to_alcotest

@@ -75,7 +75,7 @@ let test_catches_free_count_corruption () =
       let poked = ref false in
       Immix.iter_blocks s (fun b ->
           if not !poked then begin
-            b.Block.free_lines <- b.Block.free_lines + 1;
+            Block.set_free_lines b (Block.free_lines b + 1);
             poked := true
           end));
   expect_violation vm "free-line count"
