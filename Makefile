@@ -39,7 +39,7 @@ lint-md:
 
 check: build test lint-md fmt
 
-# Hot-path microbenchmarks (DESIGN.md §9, §13): rewrites
+# Hot-path microbenchmarks (DESIGN.md §9, §13-14): rewrites
 # BENCH_hotpath.json, preserving its before/after baseline fields when
 # present.  Benchmarks build with --profile release: dune's dev profile
 # compiles .mli interfaces with -opaque, which blocks cross-module

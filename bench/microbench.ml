@@ -1,7 +1,8 @@
 (* Hot-path microbenchmarks with a tracked JSON baseline.
 
-   Times the four kernels that dominate trial throughput (hole search,
-   small allocation under failures, full collection, device writes) plus
+   Times the kernels that dominate trial throughput (hole search, small
+   allocation under failures, full collection — stop-the-world and
+   incremental — and device writes) plus
    the wall-clock of the reduced `figures-quick` grid, and writes the
    results as `BENCH_hotpath.json`.  The committed copy of that file is
    the perf baseline: CI reruns the kernels and fails when any of them
@@ -140,6 +141,21 @@ let full_gc_kernel () : int * (unit -> unit) =
       Array.iteri (fun i id -> if i mod 2 = 0 then Holes.Vm.kill vm id) ids;
       Holes.Vm.collect vm ~full:true )
 
+(* gc-pause: the full_gc heap collected incrementally — snapshot,
+   budgeted mark slices, then sweep and defrag slices driven to
+   completion.  Wall-clocks the whole incremental cycle: a regression in
+   the slice machinery (work-queue processing, deferred line retirement,
+   per-slice rebuild accounting) lands here, while full_gc above keeps
+   the stop-the-world path honest. *)
+let gc_pause_kernel () : int * (unit -> unit) =
+  let cfg = { Holes.Config.default with Holes.Config.gc_slice = 64 } in
+  ( 1,
+    fun () ->
+      let vm = Holes.Vm.create ~cfg ~min_heap_bytes:(1 lsl 20) () in
+      let ids = Array.init 3000 (fun _ -> Holes.Vm.alloc vm ~size:64 ()) in
+      Array.iteri (fun i id -> if i mod 2 = 0 then Holes.Vm.kill vm id) ids;
+      Holes.Vm.collect vm ~full:true )
+
 (* device-write: the payload-store write path (no wear-outs: endurance is
    the production 1e8, so this isolates the arena from failure handling) *)
 let device_write_kernel () : int * (unit -> unit) =
@@ -217,6 +233,7 @@ let kernels : (string * (unit -> int * (unit -> unit))) list =
     ("hole_search", hole_search_kernel);
     ("alloc_small", alloc_kernel);
     ("full_gc", full_gc_kernel);
+    ("gc_pause", gc_pause_kernel);
     ("device_write", device_write_kernel);
     ("translate", translate_kernel);
     ("fleet", fleet_kernel);

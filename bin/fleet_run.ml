@@ -18,8 +18,9 @@ module Fleet_sim = Holes_fleet.Sim
 module Arrivals = Holes_fleet.Arrivals
 module Report = Holes_fleet.Report
 
-let run tenants devices arrival duration jobs endurance wear_level wear_aware rate heap
-    storm_every storm_writes slo epochs max_replacements seed out trace epoch_table =
+let run tenants devices arrival duration jobs endurance wear_level wear_aware gc_increment
+    req_bytes session_bytes live_kb rate heap storm_every storm_writes slo epochs
+    max_replacements seed out trace epoch_table =
   let arrival =
     match Arrivals.of_cli arrival with
     | Ok a -> a
@@ -42,14 +43,32 @@ let run tenants devices arrival duration jobs endurance wear_level wear_aware ra
       Holes.Config.backend =
         Holes.Config.Device { d with Holes.Config.wear; wear_aware_pools = wear_aware };
       wear_level;
+      gc_slice = gc_increment;
       failure_rate = rate;
       heap_factor = heap;
       seed;
     }
   in
+  let tenant =
+    let t = Fleet_sim.default.Fleet_sim.tenant in
+    let profile =
+      match live_kb with
+      | None -> t.Holes_fleet.Tenant.profile
+      | Some kb ->
+          Holes_workload.Profile.make ~name:(Printf.sprintf "serving%dk" kb)
+            ~description:"serving tenant with a scaled live set" ~live_kb:kb ~immortal_kb:8
+            ~volume_mb:1 ()
+    in
+    {
+      t with
+      Holes_fleet.Tenant.profile;
+      req_bytes = Option.value req_bytes ~default:t.Holes_fleet.Tenant.req_bytes;
+      session_bytes =
+        Option.value session_bytes ~default:t.Holes_fleet.Tenant.session_bytes;
+    }
+  in
   let params =
     {
-      Fleet_sim.default with
       Fleet_sim.tenants;
       devices;
       arrival;
@@ -59,6 +78,7 @@ let run tenants devices arrival duration jobs endurance wear_level wear_aware ra
       storm_every_ms = storm_every;
       storm_writes;
       max_replacements;
+      tenant;
       cfg;
     }
   in
@@ -136,6 +156,29 @@ let cmd =
              ~doc:"OS page-allocator leveling: grant the least-worn free perfect page \
                    instead of the free-list head.")
   in
+  let gc_increment =
+    Arg.(value & opt int 0
+         & info [ "gc-increment" ] ~docv:"BUDGET"
+             ~doc:"Incremental-collection work budget per tenant GC slice (objects per mark \
+                   slice; 0 = stop-the-world).  The fleet report then carries per-device GC \
+                   pause p99/max fields.")
+  in
+  let req_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "req-bytes" ] ~docv:"N" ~doc:"Mean bytes allocated per request.")
+  in
+  let session_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "session-bytes" ] ~docv:"N"
+             ~doc:"Session state allocated at session start (the tenant's retained live \
+                   set; stop-the-world mark pauses scale with it).")
+  in
+  let live_kb =
+    Arg.(value & opt (some int) None
+         & info [ "live-kb" ] ~docv:"KB"
+             ~doc:"Tenant live-set budget in KB (sizes the tenant heap; stop-the-world \
+                   pauses scale with it).")
+  in
   let rate =
     Arg.(value & opt float 0.0
          & info [ "rate"; "r" ] ~docv:"F" ~doc:"Boot-time PCM line failure rate in [0,0.95].")
@@ -186,7 +229,8 @@ let cmd =
     (Cmd.info "fleet-run" ~doc)
     Term.(
       const run $ tenants $ devices $ arrival $ duration $ jobs $ endurance $ wear_level
-      $ wear_aware $ rate $ heap $ storm_every $ storm_writes $ slo $ epochs
-      $ max_replacements $ seed $ out $ trace $ epoch_table)
+      $ wear_aware $ gc_increment $ req_bytes $ session_bytes $ live_kb $ rate $ heap
+      $ storm_every $ storm_writes $ slo $ epochs $ max_replacements $ seed $ out $ trace
+      $ epoch_table)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,7 +52,7 @@ let print_outcome (profile : Holes_workload.Profile.t) (cfg : Holes.Config.t) ~(
   if o.Holes_exp.Runner.completed = o.Holes_exp.Runner.trials then 0 else 2
 
 let run list_benches bench collector line_size rate dist model compensate arraylets backend
-    endurance wear_level heap scale seed trials jobs out trace stats verify verbose =
+    endurance wear_level heap scale seed trials jobs out trace stats verify gc_increment verbose =
   if list_benches then begin
     print_endline "available benchmark profiles:";
     List.iter
@@ -128,6 +128,7 @@ let run list_benches bench collector line_size rate dist model compensate arrayl
             wear_level;
             failure_model;
             verify;
+            gc_slice = gc_increment;
             seed;
           }
         in
@@ -313,6 +314,14 @@ let cmd =
              ~doc:"Run the paranoid heap verifier after every GC phase (expensive; results \
                    are guaranteed bit-identical either way).")
   in
+  let gc_increment =
+    Arg.(value & opt int 0
+         & info [ "gc-increment" ] ~docv:"BUDGET"
+             ~doc:"Incremental collection work budget per mutator slice, in mark-queue \
+                   entries (0 = stop-the-world).  Total GC work is unchanged; only its \
+                   interleaving with the mutator — and therefore the recorded pauses — \
+                   differ.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print detailed metrics.") in
   let doc = "run one DaCapo-style workload on the failure-aware runtime" in
   Cmd.v
@@ -320,6 +329,6 @@ let cmd =
     Term.(
       const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ model $ compensate
       $ arraylets $ backend $ endurance $ wear_level $ heap $ scale $ seed $ trials $ jobs
-      $ out $ trace $ stats $ verify $ verbose)
+      $ out $ trace $ stats $ verify $ gc_increment $ verbose)
 
 let () = exit (Cmd.eval' cmd)

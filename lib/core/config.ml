@@ -87,6 +87,15 @@ type t = {
       (** run the paranoid heap verifier ([Verify]) after every GC phase;
           expensive, and guaranteed not to change results — only the
           (non-serialized) verifier pass counters *)
+  gc_slice : int;
+      (** incremental collection work budget per mutator slice, in
+          mark-queue entries processed (0 = stop-the-world, the
+          default).  When positive, full collections run as
+          snapshot-at-the-beginning increments: each allocation advances
+          the cycle by at most this much marking work (sweeping and
+          evacuation are budgeted proportionally), so the recorded pause
+          is per-slice rather than per-cycle.  Total GC work is
+          unchanged — only its interleaving with the mutator. *)
   seed : int;
 }
 
@@ -106,6 +115,7 @@ let default : t =
     wear_level = None;
     failure_model = From_dist;
     verify = false;
+    gc_slice = 0;
     seed = 42;
   }
 
@@ -142,6 +152,9 @@ let name (t : t) : string =
     | None -> base
     | Some _ -> base ^ "-wl" ^ Holes_pcm.Translate.short_name t.wear_level
   in
+  (* like -wa and -wl, the -inc tag only appears when incremental
+     collection is on: stop-the-world configurations keep their names *)
+  let base = if t.gc_slice > 0 then Printf.sprintf "%s-inc%d" base t.gc_slice else base in
   let line = Printf.sprintf "L%d" t.line_size in
   match t.failure_model with
   | Model m ->
@@ -170,6 +183,7 @@ let validate (t : t) : (unit, string) result =
   else if t.failure_rate < 0.0 || t.failure_rate > 0.95 then
     Error "failure rate must be in [0, 0.95]"
   else if t.heap_factor < 1.0 then Error "heap factor must be >= 1"
+  else if t.gc_slice < 0 then Error "gc_slice must be non-negative (0 = stop-the-world)"
   else
     let model_ok =
       match t.failure_model with

@@ -74,6 +74,38 @@ type t = {
       (** paranoid-verifier hook, run at the end of every collection
           (installed by [Vm] when [Config.verify] is set; [ignore]
           otherwise, so the disabled cost is one closure call) *)
+  (* incremental (snapshot-at-the-beginning) collection state.  A cycle
+     is the same full collection as [full_gc] — same mark charges, same
+     sweep passes, same evacuation — cut into budgeted slices driven
+     from the allocation path.  [mark_queue] doubles as the persistent
+     snapshot work-list: entries are slot ids, sign-encoded with
+     liveness at snapshot time (id = live, lnot id = dead). *)
+  mutable gc_slice : int;
+      (** work budget per slice in mark-queue entries; 0 = stop-the-world
+          (mutable so the torture driver can toggle mid-run) *)
+  satb : Remset.t;
+      (** the SATB mutation log: sources of reference stores executed
+          while marking is in progress and the source is already black;
+          drained (and charged like remset entries) at mark end *)
+  mutable inc_phase : int;  (** 0 idle / 1 mark / 2 sweep / 3 defrag *)
+  mutable inc_pos : int;
+      (** resume cursor: next [mark_queue] entry (mark phase) or next
+          block-table index (sweep phase) *)
+  mutable inc_epoch : int;  (** current mark epoch ("black" = marked in it) *)
+  inc_recyclable : Intvec.t;
+      (** recyclable vector under construction by the sweep phase,
+          installed wholesale when the pass completes *)
+  mutable inc_candidates : int list;  (** defrag candidates (block indices) left to evacuate *)
+  mutable inc_snapshot_len : int;  (** mark-queue length at snapshot *)
+  mutable inc_nursery_len : int;  (** nursery length at snapshot *)
+  mutable inc_marked : int;  (** cycle work counter: snapshot-live processed *)
+  mutable inc_released : int;  (** cycle work counter: snapshot-dead released *)
+  mutable pending_retire : (int * int * int) list;
+      (** deferred dynamic-failure line retirements, newest first:
+          (heap addr, stock page id or -1, 64 B line within the page) —
+          completed by the defrag phase, so a failure storm never forces
+          a monolithic evacuation pause *)
+  mutable inc_trigger : int;  (** allocations since the last proactive-start check *)
   tracer : Trace.view;  (** gc/alloc-lane events: phase spans, slow paths *)
 }
 
@@ -111,9 +143,23 @@ let create ?(tracer = Trace.null) ~(cfg : Config.t) ~(cost : Cost.t) ~(metrics :
       want_full = false;
       defrag_requested = false;
       post_gc_check = ignore;
+      gc_slice = cfg.Config.gc_slice;
+      satb = Remset.create ();
+      inc_phase = 0;
+      inc_pos = 0;
+      inc_epoch = 0;
+      inc_recyclable = Intvec.create ();
+      inc_candidates = [];
+      inc_snapshot_len = 0;
+      inc_nursery_len = 0;
+      inc_marked = 0;
+      inc_released = 0;
+      pending_retire = [];
+      inc_trigger = 0;
       tracer;
     }
   in
+  if cfg.Config.gc_slice > 0 then metrics.Metrics.inc_active <- true;
   (* the "has sufficient memory" test for DRAM borrowing must see the
      free lines held inside partially used blocks, not just free stock
      pages *)
@@ -318,10 +364,15 @@ and alloc_small_slow (t : t) ~(size : int) : int =
       else begin
         let bi = Intvec.unsafe_get t.recyclable t.recyclable_pos in
         t.recyclable_pos <- t.recyclable_pos + 1;
-        let b = block t bi in
-        Block.set_recyclable b false;
-        Cost.charge t.cost w.Cost.block_open;
-        if set_cursor_to_hole t b ~from_line:0 ~min_bytes:size then true else try_recyclable ()
+        (* an incremental sweep slice may have dissolved a listed block
+           since the vector was built; skip the stale entry *)
+        match block_opt t bi with
+        | None -> try_recyclable ()
+        | Some b ->
+            Block.set_recyclable b false;
+            Cost.charge t.cost w.Cost.block_open;
+            if set_cursor_to_hole t b ~from_line:0 ~min_bytes:size then true
+            else try_recyclable ()
       end
     in
     if try_recyclable () then place_at_cursor t ~size
@@ -731,6 +782,383 @@ let nursery_gc (t : t) : unit =
   t.post_gc_check ()
 
 (* ------------------------------------------------------------------ *)
+(* Incremental (snapshot-at-the-beginning) collection                  *)
+(*                                                                     *)
+(* The cycle performs exactly [full_gc]'s work — the same mark charge  *)
+(* per snapshot object, the same sweep passes, the same evacuation —   *)
+(* but cut into budgeted slices driven from the allocation path, each  *)
+(* bracketed by [Cost.begin_gc]/[end_gc] so the recorded pause is the  *)
+(* slice, not the cycle.  Instead of clearing line marks and           *)
+(* re-adding live objects (which the mutator, running between slices,  *)
+(* could not tolerate), the snapshot encodes liveness in the sign of   *)
+(* each queue entry: live entries are charged and blackened in place,  *)
+(* dead entries have their lines removed and their slots released.     *)
+(* Per-line live counts therefore equal the coverage of all            *)
+(* uncollected objects at every instant — the exact invariant the      *)
+(* verifier checks — and the end state matches stop-the-world's.       *)
+(*                                                                     *)
+(* SATB details: an object killed after the snapshot is still charged  *)
+(* and blackened (floating garbage, reclaimed next cycle); objects     *)
+(* allocated during marking are born black ([register] stamps the      *)
+(* epoch); stores whose source is already black log the source into    *)
+(* [satb], drained and charged like remset entries at mark end.        *)
+(* ------------------------------------------------------------------ *)
+
+let inc_idle = 0
+let inc_mark = 1
+let inc_sweep = 2
+let inc_defrag = 3
+
+let incremental_active (t : t) : bool = t.inc_phase <> inc_idle
+
+(* Complete the retirement of the 64 B line behind [addr]: close bump
+   cursors over the line, relocate every object still overlapping it
+   (alive ones move — through the perfect-block fallback if imperfect
+   memory cannot hold them; dead-uncollected ones are simply released,
+   exactly as the collection that precedes this in the stop-the-world
+   path would have done), fail the logical line, and persist the hole
+   on the backing stock page.  Idempotent: re-retiring an already
+   failed line is a no-op.  [stock_page]/[line64] were captured when
+   the failure arrived, so a block dissolved in the interim still gets
+   its hole recorded in the stock. *)
+let complete_line_retirement (t : t) ~(addr : int) ~(stock_page : int) ~(line64 : int) : unit =
+  let w = weights t in
+  (* set when a pinned object turns up on the line: the OS masks the
+     failure by page remap instead, so the logical line never fails *)
+  let masked = ref false in
+  (match block_opt t (addr / block_bytes) with
+  | None -> ()
+  | Some b ->
+      let bi = b.Block.index in
+      let line = Block.line_of_offset b (addr - b.Block.base) in
+      let line_lo = b.Block.base + (line * b.Block.line_size) in
+      let line_hi = line_lo + b.Block.line_size in
+      if t.cur_block = bi && t.cursor < line_hi && line_lo < t.limit then begin
+        t.cur_block <- -1;
+        t.cursor <- 0;
+        t.limit <- 0
+      end;
+      if t.ovf_block = bi && t.ovf_cursor < line_hi && line_lo < t.ovf_limit then begin
+        t.ovf_block <- -1;
+        t.ovf_cursor <- 0;
+        t.ovf_limit <- 0
+      end;
+      let overlapping = ref [] in
+      Intvec.iter b.Block.objs (fun id ->
+          let oa = Object_table.addr t.objects id in
+          if oa >= 0 && not (Object_table.is_los t.objects id) then begin
+            let oe = oa + Object_table.size t.objects id in
+            if oa / block_bytes = bi && oa < line_hi && line_lo < oe then
+              overlapping := id :: !overlapping
+          end);
+      (* an object pinned since the failure was deferred cannot move:
+         the OS masks the failure exactly as the synchronous path would
+         (page copy to a perfect page + remap) and the heap line stays *)
+      if
+        List.exists
+          (fun id ->
+            Object_table.is_alive t.objects id && Object_table.is_pinned t.objects id)
+          !overlapping
+      then begin
+        masked := true;
+        Cost.charge t.cost
+          (w.Cost.perfect_request +. w.Cost.dram_borrow
+          +. (w.Cost.copy_byte *. float_of_int Holes_pcm.Geometry.page_bytes));
+        t.metrics.Metrics.bytes_copied <-
+          t.metrics.Metrics.bytes_copied + Holes_pcm.Geometry.page_bytes
+      end
+      else begin
+      List.iter
+        (fun id ->
+          (* re-resolve: an earlier relocation in this loop may have
+             moved it already, and ids can repeat in [objs] *)
+          let oa = Object_table.addr t.objects id in
+          if oa >= 0 && oa / block_bytes = bi && oa < line_hi
+             && line_lo < oa + Object_table.size t.objects id
+          then
+            if Object_table.is_alive t.objects id then begin
+              let size = Object_table.size t.objects id in
+              let new_addr =
+                let a = alloc_nogc t ~size in
+                if a >= 0 then a else alloc_medium_perfect t ~size
+              in
+              if new_addr < 0 then begin
+                t.metrics.Metrics.out_of_memory <- true;
+                t.metrics.Metrics.oom_request <- size;
+                raise Out_of_memory
+              end
+              else begin
+                Block.remove_object_lines b ~addr:oa ~size;
+                Object_table.relocate t.objects id ~new_addr;
+                Intvec.push (block_of_addr t new_addr).Block.objs id;
+                Cost.charge t.cost (w.Cost.copy_byte *. float_of_int size);
+                t.metrics.Metrics.bytes_copied <- t.metrics.Metrics.bytes_copied + size;
+                t.metrics.Metrics.objects_evacuated <- t.metrics.Metrics.objects_evacuated + 1
+              end
+            end
+            else begin
+              (* dead-but-uncollected: reclaim it now, as the collection
+                 preceding a stop-the-world retirement would have *)
+              Block.remove_object_lines b ~addr:oa
+                ~size:(Object_table.size t.objects id);
+              Object_table.release t.objects id
+            end)
+        (List.rev !overlapping);
+      match Block.fail_line b ~line with
+      | `Already_failed | `Was_free -> ()
+      | `Was_live -> assert false
+      end);
+  if (not !masked) && stock_page >= 0 then
+    Page_stock.mark_line_failed t.stock ~id:stock_page ~line:line64
+
+(* One increment of the mark phase: process up to [gc_slice] snapshot
+   entries from the persistent work-list.  Charges are per entry,
+   identical to [mark_slot]'s for the same object. *)
+let mark_slice (t : t) (w : Cost.weights) : unit =
+  let q = t.mark_queue in
+  let len = Intvec.length q in
+  let stop = min len (t.inc_pos + max 1 t.gc_slice) in
+  let i = ref t.inc_pos in
+  while !i < stop do
+    let enc = Intvec.unsafe_get q !i in
+    if enc >= 0 then begin
+      (* snapshot-live: charged and blackened even if killed since the
+         snapshot (SATB floating garbage, reclaimed next cycle) *)
+      let id = enc in
+      let nrefs = Object_table.nrefs t.objects id in
+      Cost.charge t.cost (w.Cost.mark_obj +. (w.Cost.mark_edge *. float_of_int nrefs));
+      Object_table.set_mark t.objects id t.inc_epoch;
+      Object_table.clear_nursery_flag t.objects id;
+      t.inc_marked <- t.inc_marked + 1
+    end
+    else begin
+      (* snapshot-dead: reclaim.  Nothing can release the slot between
+         snapshot and here (nursery collections are suppressed during a
+         cycle), so the lines are still accounted and the release is
+         exactly [mark_slot]'s. *)
+      let id = lnot enc in
+      let addr = Object_table.addr t.objects id in
+      if addr >= 0 then begin
+        if Object_table.is_los t.objects id then Los.free t.los ~addr
+        else
+          Block.remove_object_lines (block_of_addr t addr) ~addr
+            ~size:(Object_table.size t.objects id);
+        Object_table.release t.objects id
+      end;
+      t.inc_released <- t.inc_released + 1
+    end;
+    incr i
+  done;
+  t.inc_pos <- !i;
+  if t.inc_pos >= len then begin
+    (* mark phase complete: drain the SATB log (charged like remset
+       entries — the barrier's slow-path work), select evacuation
+       candidates, and hand over to the sweep *)
+    Cost.charge t.cost (w.Cost.remset_entry *. float_of_int (Remset.size t.satb));
+    Remset.clear t.satb;
+    Intvec.clear q;
+    assert (t.inc_marked + t.inc_released = t.inc_snapshot_len);
+    let candidates, _ = prepare_defrag t in
+    t.inc_candidates <- List.map (fun (b : Block.t) -> b.Block.index) candidates;
+    Intvec.clear t.inc_recyclable;
+    t.inc_phase <- inc_sweep;
+    t.inc_pos <- 0
+  end
+
+(* Cycle completion: conservation asserts, nursery snapshot-prefix drop,
+   and the same end-of-collection bookkeeping as [full_gc].  The pause
+   record itself is per-slice, emitted by [gc_increment]. *)
+let finish_cycle_end (t : t) : unit =
+  assert (t.inc_marked + t.inc_released = t.inc_snapshot_len);
+  assert (t.inc_candidates = []);
+  assert (t.pending_retire = []);
+  (* snapshot-prefix nursery entries were all processed (un-flagged or
+     released); entries pushed mid-cycle stay for the next nursery
+     collection, as do their remset records *)
+  Intvec.drop_prefix t.nursery t.inc_nursery_len;
+  t.inc_nursery_len <- 0;
+  t.want_full <- false;
+  t.defrag_requested <- false;
+  t.inc_phase <- inc_idle;
+  t.metrics.Metrics.full_gcs <- t.metrics.Metrics.full_gcs + 1;
+  let live = Object_table.live_bytes t.objects in
+  if live > t.metrics.Metrics.peak_live_bytes then t.metrics.Metrics.peak_live_bytes <- live
+
+(* One increment of the sweep phase: a budgeted run of the ascending
+   block pass that [rebuild_recyclable] performs in one go — same
+   per-block charge, same dissolve rule, same recyclable selection —
+   accumulating into [inc_recyclable], installed when the pass ends. *)
+let sweep_slice (t : t) (w : Cost.weights) : unit =
+  let per_slice = max 1 (t.gc_slice / 128) in
+  let is_candidate bi = List.mem bi t.inc_candidates in
+  let swept = ref 0 in
+  while !swept < per_slice && t.inc_pos < t.next_block_index do
+    (match Array.unsafe_get t.table t.inc_pos with
+    | None -> ()
+    | Some b ->
+        let bi = b.Block.index in
+        if Block.is_empty b && bi <> t.cur_block && bi <> t.ovf_block
+           && not (is_candidate bi)
+        then dissolve_block t b
+        else begin
+          Cost.charge t.cost (w.Cost.sweep_line *. float_of_int b.Block.nlines);
+          let free = Block.sweep b in
+          (* drop stale ids (released or relocated away) so the per-block
+             object list cannot grow without bound across cycles *)
+          Intvec.filter_in_place b.Block.objs (fun id ->
+              let a = Object_table.addr t.objects id in
+              a >= 0
+              && (not (Object_table.is_los t.objects id))
+              && a / block_bytes = bi);
+          if free > 0 && (not (is_candidate bi)) && bi <> t.cur_block
+             && bi <> t.ovf_block
+          then begin
+            Block.set_recyclable b true;
+            Intvec.push t.inc_recyclable bi
+          end
+        end);
+    t.inc_pos <- t.inc_pos + 1;
+    incr swept
+  done;
+  if t.inc_pos >= t.next_block_index then begin
+    (* install the fresh vector (built in ascending order) *)
+    Intvec.clear t.recyclable;
+    Intvec.iter t.inc_recyclable (fun bi -> Intvec.push t.recyclable bi);
+    Intvec.clear t.inc_recyclable;
+    t.recyclable_pos <- 0;
+    if t.inc_candidates = [] && t.pending_retire = [] then finish_cycle_end t
+    else t.inc_phase <- inc_defrag
+  end
+
+(* One increment of the defrag phase: evacuate one candidate block per
+   slice; once the candidates are drained, complete the deferred line
+   retirements — a bounded batch per slice, each one may relocate a
+   line's worth of survivors — and end with the same final dissolve +
+   charged rebuild pass stop-the-world defragmentation ends with. *)
+let defrag_slice (t : t) (_w : Cost.weights) : unit =
+  match t.inc_candidates with
+  | bi :: rest ->
+      t.inc_candidates <- rest;
+      (match block_opt t bi with
+      | None -> ()
+      | Some b -> ignore (evacuate_block t b))
+  | [] when t.pending_retire <> [] ->
+      (* oldest first; retirements arriving mid-slice (a relocation
+         store wearing out another line) are re-queued behind the
+         unprocessed remainder *)
+      let pending = List.rev t.pending_retire in
+      t.pending_retire <- [];
+      let rec drain n = function
+        | (addr, stock_page, line64) :: rest when n > 0 ->
+            complete_line_retirement t ~addr ~stock_page ~line64;
+            drain (n - 1) rest
+        | rest -> rest
+      in
+      let rest = drain (max 1 (t.gc_slice / 128)) pending in
+      t.pending_retire <- t.pending_retire @ List.rev rest
+  | [] ->
+      iter_blocks t (fun b ->
+          if Block.is_empty b && b.Block.index <> t.cur_block
+             && b.Block.index <> t.ovf_block
+          then dissolve_block t b);
+      rebuild_recyclable t ~except:(fun _ -> false);
+      finish_cycle_end t
+
+(* Run one bounded increment of the active cycle, bracketed as its own
+   recorded pause; no-op when no cycle is active. *)
+let gc_increment (t : t) : unit =
+  if incremental_active t then begin
+    let w = weights t in
+    let armed = Trace.armed t.tracer in
+    Cost.begin_gc t.cost;
+    if armed then
+      Trace.begin_span t.tracer ~tid:Trace.tid_gc "gc_increment"
+        ~args:[ ("phase", float_of_int t.inc_phase) ];
+    (match t.inc_phase with
+    | 1 -> mark_slice t w
+    | 2 -> sweep_slice t w
+    | 3 -> defrag_slice t w
+    | _ -> ());
+    let pause = Cost.end_gc t.cost in
+    t.metrics.Metrics.gc_increments <- t.metrics.Metrics.gc_increments + 1;
+    t.metrics.Metrics.pauses_ns <- pause :: t.metrics.Metrics.pauses_ns;
+    Stats.observe t.metrics.Metrics.pause_hist pause;
+    if armed then
+      Trace.end_span t.tracer ~tid:Trace.tid_gc "gc_increment"
+        ~args:[ ("pause_ns", pause) ];
+    t.post_gc_check ()
+  end
+
+(* Open a cycle: take the snapshot.  Its own recorded slice — the
+   enqueue pass is uncharged exactly as [full_gc]'s is; the fixed
+   collection cost lands here. *)
+let start_cycle (t : t) : unit =
+  let w = weights t in
+  let armed = Trace.armed t.tracer in
+  Cost.begin_gc t.cost;
+  if armed then Trace.begin_span t.tracer ~tid:Trace.tid_gc "gc_snapshot";
+  Cost.charge t.cost w.Cost.gc_fixed;
+  t.inc_epoch <- t.inc_epoch + 1;
+  Intvec.clear t.mark_queue;
+  Object_table.iter_slots t.objects (fun id ->
+      Intvec.push t.mark_queue
+        (if Object_table.is_alive t.objects id then id else lnot id));
+  t.inc_pos <- 0;
+  t.inc_snapshot_len <- Intvec.length t.mark_queue;
+  t.inc_nursery_len <- Intvec.length t.nursery;
+  t.inc_marked <- 0;
+  t.inc_released <- 0;
+  Remset.clear t.satb;
+  (* pre-snapshot remset records aim at nursery objects this cycle will
+     process out of the nursery: clear now (stop-the-world clears at
+     cycle end); records logged mid-cycle survive for the next nursery
+     collection *)
+  Remset.clear t.remset;
+  t.inc_phase <- inc_mark;
+  let pause = Cost.end_gc t.cost in
+  t.metrics.Metrics.gc_increments <- t.metrics.Metrics.gc_increments + 1;
+  t.metrics.Metrics.pauses_ns <- pause :: t.metrics.Metrics.pauses_ns;
+  Stats.observe t.metrics.Metrics.pause_hist pause;
+  if armed then
+    Trace.end_span t.tracer ~tid:Trace.tid_gc "gc_snapshot" ~args:[ ("pause_ns", pause) ];
+  t.post_gc_check ()
+
+(* Drive the active cycle to completion (each slice still individually
+   bounded, bracketed and verified). *)
+let finish_cycle (t : t) : unit =
+  while incremental_active t do
+    gc_increment t
+  done
+
+(* A full collection under the incremental regime: finish the cycle in
+   flight, or run a whole fresh one. *)
+let incremental_full_gc (t : t) : unit =
+  if not (incremental_active t) then start_cycle t;
+  finish_cycle t
+
+(* The allocation-path pulse: advance the active cycle by one slice, or
+   check (every 64 allocations) whether free memory has fallen low
+   enough to open one proactively — starting before exhaustion is what
+   keeps forced back-to-back completions rare. *)
+let incremental_pulse (t : t) : unit =
+  if incremental_active t then gc_increment t
+  else begin
+    t.inc_trigger <- t.inc_trigger + 1;
+    if t.inc_trigger land 63 = 0 then begin
+      let heap_bytes = Page_stock.npages t.stock * Holes_pcm.Geometry.page_bytes in
+      if total_free_bytes t * 4 < heap_bytes then start_cycle t
+    end
+  end
+
+(** Set the incremental work budget (0 = stop-the-world).  Toggling
+    increments off mid-cycle finishes the cycle first, so the
+    stop-the-world machinery never observes a half-run cycle. *)
+let set_gc_slice (t : t) (budget : int) : unit =
+  if budget <= 0 && incremental_active t then finish_cycle t;
+  t.gc_slice <- max 0 budget;
+  if budget > 0 then t.metrics.Metrics.inc_active <- true
+
+(* ------------------------------------------------------------------ *)
 (* Public mutator interface                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -763,7 +1191,27 @@ and alloc_escalate (t : t) ~(size : int) ~(generational : bool) (n : int) : int 
   (* a medium that could not be placed signals fragmentation: ask the
      next full collection to defragment *)
   if is_medium t ~size then t.defrag_requested <- true;
-  if n = 0 && generational && not t.want_full then begin
+  if t.gc_slice > 0 then begin
+    (* incremental regime: a forced full collection finishes the cycle
+       in flight (or runs a whole fresh one) — still slice-bracketed,
+       so every recorded pause stays bounded.  Nursery collections are
+       suppressed while a cycle is active: they would release objects
+       the snapshot still references. *)
+    if n = 0 && generational && (not t.want_full) && not (incremental_active t) then begin
+      nursery_gc t;
+      alloc_attempt t ~size ~generational 1
+    end
+    else if n <= 1 then begin
+      incremental_full_gc t;
+      alloc_attempt t ~size ~generational 2
+    end
+    else if is_medium t ~size then begin
+      let a = alloc_medium_perfect t ~size in
+      if a >= 0 then a else oom t ~size
+    end
+    else oom t ~size
+  end
+  else if n = 0 && generational && not t.want_full then begin
     nursery_gc t;
     alloc_attempt t ~size ~generational 1
   end
@@ -783,18 +1231,32 @@ and alloc_escalate (t : t) ~(size : int) ~(generational : bool) (n : int) : int 
     when all fail. *)
 let alloc (t : t) ~(size : int) : int =
   let size = Units.aligned_size size in
+  (* incremental regime: each allocation advances the active cycle by
+     one budgeted slice (or checks whether to open one) before the
+     allocation itself proceeds *)
+  if t.gc_slice > 0 then incremental_pulse t;
   alloc_attempt t ~size ~generational:(Config.is_generational t.cfg.Config.collector) 0
 
 (** Register a freshly allocated object id with its block and the
     nursery. *)
 let register (t : t) ~(id : int) ~(addr : int) : unit =
   if not (Los.is_los_addr addr) then Intvec.push (block_of_addr t addr).Block.objs id;
-  Intvec.push t.nursery id
+  Intvec.push t.nursery id;
+  (* allocate black: an object born while marking is in progress is not
+     in the snapshot and must survive this cycle *)
+  if t.inc_phase = inc_mark then Object_table.set_mark t.objects id t.inc_epoch
 
 (** The generational write barrier: [src] (an old object) now references
     a nursery object. *)
 let write_barrier (t : t) ~(src : int) : unit =
   Cost.charge t.cost (weights t).Cost.write_barrier;
+  (* SATB leg: a store whose source is already black would hide the old
+     target from a concurrent marker — log the source so mark end can
+     account for it.  With the liveness oracle the log is bookkeeping
+     (and charge) rather than re-traversal, but the trigger condition is
+     the real barrier's. *)
+  if t.inc_phase = inc_mark && Object_table.marked t.objects src t.inc_epoch then
+    ignore (Remset.record t.satb ~src);
   if Config.is_generational t.cfg.Config.collector && not (Object_table.is_nursery t.objects src)
   then ignore (Remset.record t.remset ~src)
 
@@ -870,6 +1332,23 @@ and dynamic_failure_in_block (t : t) ~(addr : int) ~(bi : int) ~(b : Block.t) : 
       +. (w.Cost.copy_byte *. float_of_int Holes_pcm.Geometry.page_bytes));
     t.metrics.Metrics.bytes_copied <-
       t.metrics.Metrics.bytes_copied + Holes_pcm.Geometry.page_bytes
+  end
+  else if t.gc_slice > 0 && affected <> [] then begin
+    (* incremental regime: flag the block for evacuation and defer the
+       line retirement to the active cycle's defrag phase (opening a
+       cycle if none is running), so a failure storm produces a stream
+       of bounded slices instead of one monolithic evacuation pause.
+       The failure buffer holds the line's data until the retirement
+       completes, exactly as it does across the synchronous window.
+       The backing page id is captured now: the block may be dissolved
+       before the completion runs, but the hole must still reach the
+       stock. *)
+    Block.set_evacuate b true;
+    let off = addr - b.Block.base in
+    let page_id = b.Block.pages.(off / Holes_pcm.Geometry.page_bytes) in
+    let line64 = off mod Holes_pcm.Geometry.page_bytes / Holes_pcm.Geometry.line_bytes in
+    t.pending_retire <- (addr, page_id, line64) :: t.pending_retire;
+    if not (incremental_active t) then start_cycle t
   end
   else begin
     (if affected <> [] then begin
@@ -954,8 +1433,14 @@ let page_backing (t : t) ~(addr : int) : (int * int) option =
     blocks back into stock pages). *)
 let request_defrag (t : t) : unit = t.defrag_requested <- true
 
-(** Force a collection (used by the VM's LOS retry path). *)
-let collect (t : t) ~(full : bool) : unit = if full then full_gc t else nursery_gc t
+(** Force a collection (used by the VM's LOS retry path).  Under the
+    incremental regime a full collection drives the cycle to completion
+    in bounded, individually recorded slices. *)
+let collect (t : t) ~(full : bool) : unit =
+  if t.gc_slice > 0 then
+    if full || incremental_active t then incremental_full_gc t else nursery_gc t
+  else if full then full_gc t
+  else nursery_gc t
 
 let live_blocks (t : t) : int = t.nblocks
 

@@ -70,6 +70,40 @@ type t = {
           demand: set by allocation failures and dynamic failures) *)
   mutable post_gc_check : unit -> unit;
       (** paranoid-verifier hook, run at the end of every collection *)
+  (* incremental (snapshot-at-the-beginning) collection state.  A cycle
+     is the same full collection as the stop-the-world one — same mark
+     charges, same sweep passes, same evacuation — cut into budgeted
+     slices driven from the allocation path.  [mark_queue] doubles as
+     the persistent snapshot work-list: entries are slot ids,
+     sign-encoded with liveness at snapshot time (id = live,
+     [lnot id] = dead).  Exposed for the heap verifier's SATB checks
+     and the torture driver. *)
+  mutable gc_slice : int;
+      (** work budget per slice in mark-queue entries; 0 = stop-the-world
+          (mutable so the torture driver can toggle mid-run) *)
+  satb : Remset.t;
+      (** the SATB mutation log: sources of reference stores executed
+          while marking is in progress and the source is already black;
+          drained (and charged like remset entries) at mark end *)
+  mutable inc_phase : int;  (** 0 idle / 1 mark / 2 sweep / 3 defrag *)
+  mutable inc_pos : int;
+      (** resume cursor: next [mark_queue] entry (mark phase) or next
+          block-table index (sweep phase) *)
+  mutable inc_epoch : int;  (** current mark epoch ("black" = marked in it) *)
+  inc_recyclable : Intvec.t;
+      (** recyclable vector under construction by the sweep phase,
+          installed wholesale when the pass completes *)
+  mutable inc_candidates : int list;  (** defrag candidates (block indices) left to evacuate *)
+  mutable inc_snapshot_len : int;  (** mark-queue length at snapshot *)
+  mutable inc_nursery_len : int;  (** nursery length at snapshot *)
+  mutable inc_marked : int;  (** cycle work counter: snapshot-live processed *)
+  mutable inc_released : int;  (** cycle work counter: snapshot-dead released *)
+  mutable pending_retire : (int * int * int) list;
+      (** deferred dynamic-failure line retirements, newest first:
+          (heap addr, stock page id or -1, 64 B line within the page) —
+          completed by the defrag phase, so a failure storm never forces
+          a monolithic evacuation pause *)
+  mutable inc_trigger : int;  (** allocations since the last proactive-start check *)
   tracer : Holes_obs.Trace.view;
 }
 
@@ -116,7 +150,44 @@ val write_barrier : t -> src:int -> unit
     a nursery object. *)
 
 val collect : t -> full:bool -> unit
-(** Force a collection (used by the VM's LOS retry path). *)
+(** Force a collection (used by the VM's LOS retry path).  Under the
+    incremental regime ([gc_slice > 0]) a full collection drives the
+    cycle to completion in bounded, individually recorded slices. *)
+
+(** {2 Incremental collection}
+
+    With [Config.gc_slice > 0] full collections run as
+    snapshot-at-the-beginning increments: each allocation advances the
+    active cycle by at most the budget's worth of marking work
+    (sweeping and evacuation are budgeted proportionally), so the
+    recorded pause is per-slice rather than per-cycle.  Total GC work
+    is unchanged — only its interleaving with the mutator. *)
+
+val inc_idle : int
+(** [inc_phase] value: no cycle in flight. *)
+
+val inc_mark : int
+(** [inc_phase] value: marking — the window the SATB barrier covers. *)
+
+val inc_sweep : int
+(** [inc_phase] value: budgeted sweep of the block table. *)
+
+val inc_defrag : int
+(** [inc_phase] value: per-slice evacuation and deferred line
+    retirements. *)
+
+val incremental_active : t -> bool
+(** A collection cycle is in flight (some slice work remains). *)
+
+val gc_increment : t -> unit
+(** Run one bounded increment of the active cycle, bracketed as its own
+    recorded pause; no-op when no cycle is active.  Normally driven
+    from [alloc]; exposed for tests and the torture driver. *)
+
+val set_gc_slice : t -> int -> unit
+(** Set the incremental work budget (0 = stop-the-world).  Toggling
+    increments off mid-cycle finishes the cycle first, so the
+    stop-the-world machinery never observes a half-run cycle. *)
 
 val dynamic_failure : t -> addr:int -> unit
 (** Handle a dynamic line failure at byte address [addr] (Sec. 4.2).

@@ -53,6 +53,13 @@ type t = {
   remset : Remset.t;
   nursery : Intvec.t;
   mutable want_full : bool;
+  mutable gc_slice : int;
+      (** incremental work budget per recorded slice (0 = stop-the-world).
+          The free-list baseline has no mutator-interleaved marking: a
+          sliced collection still runs to completion within one call, but
+          brackets its mark and sweep work into budgeted chunks so every
+          recorded pause is bounded — the honest comparison point for the
+          Immix incremental mode's pause figures. *)
 }
 
 val create :
@@ -82,4 +89,11 @@ val write_barrier : t -> src:int -> unit
 (** The generational write barrier for the sticky variant. *)
 
 val collect : t -> full:bool -> unit
-(** Run a full mark-sweep collection, or a sticky nursery collection. *)
+(** Run a full mark-sweep collection, or a sticky nursery collection.
+    With [gc_slice > 0] the full collection records its pauses in
+    budgeted chunks (identical end state and charge totals). *)
+
+val set_gc_slice : t -> int -> unit
+(** Set the incremental work budget (0 = stop-the-world).  The baseline
+    has no cycle state to finish: the next collection simply uses the
+    new bracketing. *)

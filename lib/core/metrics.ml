@@ -49,6 +49,11 @@ type t = {
       (** coefficient of variation of per-line wear across the module
           (synced on the device backend whether or not leveling is on;
           serialized only when it is) *)
+  (* incremental collection (Config.gc_slice > 0): slice counter,
+     serialized only when the mode was ever on ([inc_active]) so
+     stop-the-world records stay byte-identical to the existing schema *)
+  mutable inc_active : bool;  (** incremental collection was enabled at some point *)
+  mutable gc_increments : int;  (** collection slices executed (snapshot/mark/sweep/defrag) *)
   (* paranoid heap verifier (Verify): pass/check counters.  Deliberately
      NOT serialized by [to_fields] — JSONL records must be bit-identical
      with the verifier on and off, and these are the only counters the
@@ -105,6 +110,8 @@ let create () : t =
     wl_remap_copies = 0;
     wl_meta_writes = 0;
     wear_cov = 0.0;
+    inc_active = false;
+    gc_increments = 0;
     verify_passes = 0;
     verify_checks = 0;
     pause_hist = Holes_obs.Stats.hist ();
@@ -169,6 +176,7 @@ let to_fields (t : t) : (string * float) list =
          ("wl_meta_writes", f t.wl_meta_writes);
          ("wear_cov", t.wear_cov);
        ])
+  @ (if not t.inc_active then [] else [ ("gc_increments", f t.gc_increments) ])
   @ Holes_obs.Stats.to_fields ~prefix:"pause_ns" t.pause_hist
   @ Holes_obs.Stats.to_fields ~prefix:"nursery_pause_ns" t.nursery_pause_hist
   @ Holes_obs.Stats.to_fields ~prefix:"hole_search_lines" t.hole_search_hist

@@ -204,7 +204,79 @@ let run ~(metrics : Metrics.t) ~(objects : Object_table.t) ~(stock : Page_stock.
                 (Block.failed_lines b = 0)
                 (fun () ->
                   Printf.sprintf "perfect-grant block %d has %d failed lines" b.Block.index
-                    (Block.failed_lines b))));
+                    (Block.failed_lines b)));
+      (* incremental (SATB) cycle consistency: runs after every slice
+         when the verifier hook is installed, so a barrier bug surfaces
+         at the increment that loses the object, not at cycle end *)
+      let phase = s.Immix.inc_phase in
+      check c
+        (phase >= Immix.inc_idle && phase <= Immix.inc_defrag)
+        (fun () -> Printf.sprintf "incremental phase %d out of range" phase);
+      if phase = Immix.inc_idle then begin
+        check c
+          (s.Immix.pending_retire = [])
+          (fun () ->
+            Printf.sprintf "%d pending line retirements with no cycle in flight"
+              (List.length s.Immix.pending_retire));
+        check c
+          (s.Immix.inc_candidates = [])
+          (fun () ->
+            Printf.sprintf "%d defrag candidates with no cycle in flight"
+              (List.length s.Immix.inc_candidates))
+      end
+      else if phase = Immix.inc_mark then begin
+        let q = s.Immix.mark_queue in
+        let len = Intvec.length q in
+        let pos = s.Immix.inc_pos in
+        check c
+          (0 <= pos && pos <= len && len = s.Immix.inc_snapshot_len)
+          (fun () ->
+            Printf.sprintf "mark cursor %d / queue %d / snapshot %d inconsistent" pos len
+              s.Immix.inc_snapshot_len);
+        check c
+          (s.Immix.inc_marked + s.Immix.inc_released = pos)
+          (fun () ->
+            Printf.sprintf "mark work counters %d+%d do not cover %d processed entries"
+              s.Immix.inc_marked s.Immix.inc_released pos);
+        (* pending snapshot entries: live ones awaited, dead ones must
+           still be dead (nothing resurrects) *)
+        let pending_live = Hashtbl.create 64 in
+        for i = pos to len - 1 do
+          let enc = Intvec.unsafe_get q i in
+          if enc >= 0 then Hashtbl.replace pending_live enc ()
+          else
+            check c
+              (not (Object_table.is_alive objects (lnot enc)))
+              (fun () -> Printf.sprintf "snapshot-dead object %d is alive" (lnot enc))
+        done;
+        (* the SATB tri-color invariant, oracle form: every alive object
+           is black (marked in the current epoch — processed from the
+           snapshot, or allocated black) or grey (still pending in the
+           snapshot work-list).  A white alive object is precisely what
+           an unlogged black→white store would strand. *)
+        Object_table.iter_slots objects (fun id ->
+            if Object_table.is_alive objects id then
+              check c
+                (Object_table.marked objects id s.Immix.inc_epoch
+                || Hashtbl.mem pending_live id)
+                (fun () ->
+                  Printf.sprintf
+                    "alive object %d neither marked in epoch %d nor pending in the snapshot" id
+                    s.Immix.inc_epoch));
+        (* every SATB-logged source was black when logged and stays so *)
+        Remset.iter s.Immix.satb (fun src ->
+            check c
+              (Object_table.marked objects src s.Immix.inc_epoch)
+              (fun () ->
+                Printf.sprintf "SATB log holds source %d that is not black in epoch %d" src
+                  s.Immix.inc_epoch))
+      end
+      else
+        check c
+          (s.Immix.inc_marked + s.Immix.inc_released = s.Immix.inc_snapshot_len)
+          (fun () ->
+            Printf.sprintf "cycle processed %d+%d of %d snapshot entries past mark end"
+              s.Immix.inc_marked s.Immix.inc_released s.Immix.inc_snapshot_len));
 
   (* -- LOS ----------------------------------------------------------- *)
   let los_pages = ref 0 in

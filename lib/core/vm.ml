@@ -490,6 +490,16 @@ let set_wear_level (t : t) (p : Holes_pcm.Wear_level.policy option) : unit =
   | Memory_backend.Static ->
       invalid_arg "Vm.set_wear_level: wear-leveling stages live in the device pipeline"
 
+(** Switch the incremental-collection work budget mid-run (0 =
+    stop-the-world).  On Immix, toggling increments off finishes any
+    cycle in flight first, so the heap the stop-the-world machinery
+    next sees is a completed-collection state — the torture driver
+    flips this both ways under load. *)
+let set_gc_slice (t : t) (budget : int) : unit =
+  match t.space with
+  | Ix s -> Immix.set_gc_slice s budget
+  | Ms s -> Mark_sweep.set_gc_slice s budget
+
 (** Total modeled execution time so far, in milliseconds. *)
 let elapsed_ms (t : t) : float = Cost.total_ms t.cost
 

@@ -31,15 +31,28 @@ module Stats = Holes_obs.Stats
 
 let psi = 64
 
-(** Rows: the device-pipeline policies, plus OS-level leveling (wear-aware
-    pools) composed with an unleveled pipeline. *)
-let rows : (string * Wl.policy option * bool) list =
+(** Work budget of the incremental-collection row: large enough that a
+    cycle finishes within a request burst, small enough that every slice
+    stays well under the pause SLO ({!pause_slo_ms}). *)
+let inc_budget = 256
+
+(** Pause-time SLO for the incremental row, milliseconds.  CI fails the
+    figure artifact when the row's worst recorded stall exceeds this by
+    more than 15%. *)
+let pause_slo_ms = 1.0
+
+(** Rows: the device-pipeline policies, OS-level leveling (wear-aware
+    pools) composed with an unleveled pipeline, and the unleveled
+    pipeline with incremental collection (bounded GC slices instead of
+    stop-the-world pauses). *)
+let rows : (string * Wl.policy option * bool * int) list =
   [
-    ("none", None, false);
-    ("start-gap", Some (Wl.Start_gap { psi }), false);
-    ("random-remap", Some (Wl.Random_remap { psi }), false);
-    ("decoder-swap", Some (Wl.Decoder_swap { psi }), false);
-    ("none + wa", None, true);
+    ("none", None, false, 0);
+    ("start-gap", Some (Wl.Start_gap { psi }), false, 0);
+    ("random-remap", Some (Wl.Random_remap { psi }), false, 0);
+    ("decoder-swap", Some (Wl.Decoder_swap { psi }), false, 0);
+    ("none + wa", None, true, 0);
+    ("none + inc", None, false, inc_budget);
   ]
 
 (** The aging operating point: endurance low enough that storm traffic
@@ -49,7 +62,7 @@ let rows : (string * Wl.policy option * bool) list =
     quick and full runs, so both keep the same tenants-per-device ratio
     and the same storm schedule. *)
 let fleet_params ~(tenants : int) ~(devices : int) ~(policy : Wl.policy option)
-    ~(wear_aware : bool) : Fleet_sim.params =
+    ~(wear_aware : bool) ~(gc_slice : int) : Fleet_sim.params =
   let d = Cfg.default_device in
   let wear = { d.Cfg.wear with Holes_pcm.Wear.mean_endurance = 25.0 } in
   let cfg =
@@ -57,6 +70,7 @@ let fleet_params ~(tenants : int) ~(devices : int) ~(policy : Wl.policy option)
       Fleet_sim.default.Fleet_sim.cfg with
       Cfg.backend = Cfg.Device { d with Cfg.wear; wear_aware_pools = wear_aware };
       wear_level = policy;
+      gc_slice;
     }
   in
   {
@@ -87,12 +101,12 @@ let table ?(params = Runner.quick) () : Table.t =
       ~headers:
         [
           "policy"; "thr rps"; "goodput"; "p50 ms"; "p99 ms"; "p999 ms";
-          "p99 young->old"; "wear CoV"; "evict"; "dead";
+          "p99 young->old"; "gc p99 ms"; "gc max ms"; "wear CoV"; "evict"; "dead";
         ]
       ~aligns:
         [
           Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
-          Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
         ]
       ()
   in
@@ -100,8 +114,8 @@ let table ?(params = Runner.quick) () : Table.t =
      storm schedule, so the aging rate matches and the tails sharpen *)
   let tenants, devices = if Runner.is_full params then (16, 8) else (4, 2) in
   List.iter
-    (fun (name, policy, wear_aware) ->
-      let p = fleet_params ~tenants ~devices ~policy ~wear_aware in
+    (fun (name, policy, wear_aware, gc_slice) ->
+      let p = fleet_params ~tenants ~devices ~policy ~wear_aware ~gc_slice in
       let r =
         Fleet_sim.run ~jobs:params.Runner.jobs ?sink:(Runner.current_sink ()) p
       in
@@ -117,6 +131,8 @@ let table ?(params = Runner.quick) () : Table.t =
           Printf.sprintf "%.3f" r.Report.p99_ms;
           Printf.sprintf "%.3f" r.Report.p999_ms;
           Printf.sprintf "%.2f->%.2f" young old_;
+          Printf.sprintf "%.3f" r.Report.gc_pause_p99_ms;
+          Printf.sprintf "%.3f" r.Report.gc_pause_max_ms;
           Printf.sprintf "%.4f" r.Report.wear_cov_mean;
           string_of_int r.Report.evictions;
           string_of_int r.Report.dead_tenants;

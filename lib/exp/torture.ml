@@ -31,6 +31,7 @@ type outcome = {
   allocs : int;
   injections : int;  (** direct dynamic-failure strikes on live objects *)
   wl_toggles : int;  (** mid-run wear-leveling stage toggles (device seeds) *)
+  inc_toggles : int;  (** mid-run incremental-collection budget toggles *)
   churns : int;  (** mid-run tenant spawn/verify/detach cycles (device seeds) *)
   gcs : int;  (** nursery + full collections *)
   explicit_verifies : int;  (** verifier runs outside the post-GC hook *)
@@ -115,6 +116,16 @@ let config_of_seed (seed : int) : Cfg.t =
       | 2 -> Some (Holes_pcm.Wear_level.Random_remap { psi })
       | _ -> Some (Holes_pcm.Wear_level.Decoder_swap { psi })
   in
+  (* incremental marking budget — drawn last for the same reason as
+     wear_level, so pre-existing seeds keep their other field values:
+     half the seeds stay stop-the-world, the rest split between tight
+     and generous slice budgets *)
+  let gc_slice =
+    match Xrng.int rng 4 with
+    | 0 | 1 -> 0
+    | 2 -> 32 + Xrng.int rng 96
+    | _ -> 256 + Xrng.int rng 512
+  in
   {
     Cfg.default with
     Cfg.collector;
@@ -126,6 +137,7 @@ let config_of_seed (seed : int) : Cfg.t =
     backend;
     failure_model;
     wear_level;
+    gc_slice;
     verify = true;
     seed = 0xBEEF + seed;
   }
@@ -188,6 +200,7 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
   let allocs = ref 0 in
   let injections = ref 0 in
   let wl_toggles = ref 0 in
+  let inc_toggles = ref 0 in
   let churns = ref 0 in
   let explicit_verifies = ref 0 in
   let steps_run = ref 0 in
@@ -280,6 +293,15 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
              Vm.set_wear_level vm next
            end
        | r when r < 96 -> Vm.collect vm ~full:(Xrng.int rng 4 = 0)
+       | r when r < 98 ->
+           (* toggle incremental collection mid-run: switching to 0
+              finishes any in-flight cycle synchronously, switching on
+              lets the next allocation pulse start one.  The VM runs
+              with [verify = true], so the verifier checks the SATB
+              invariant after every subsequent increment. *)
+           incr inc_toggles;
+           let budget = if Xrng.int rng 2 = 0 then 0 else 32 + Xrng.int rng 224 in
+           Vm.set_gc_slice vm budget
        | _ -> verify_now ());
        if Sys.getenv_opt "HOLES_TORTURE_DEBUG" <> None then verify_now ();
        if !i mod 128 = 0 then verify_now ()
@@ -307,6 +329,7 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
     allocs = !allocs;
     injections = !injections;
     wl_toggles = !wl_toggles;
+    inc_toggles = !inc_toggles;
     churns = !churns;
     gcs = m.Metrics.full_gcs + m.Metrics.nursery_gcs;
     explicit_verifies = !explicit_verifies;

@@ -37,6 +37,11 @@ type t = {
   max_replacements : int;
   srng : Xrng.t;  (** storm injection stream *)
   mutable evictions : int;
+  gc_pause : Holes_obs.Stats.hist;
+      (** GC pauses (full + nursery, ns) of tenants already evicted —
+          their VMs are detached, so the histograms are harvested here
+          before the metrics go away *)
+  mutable inc_active : bool;  (** any tenant ran with a GC increment budget *)
 }
 
 (* Replicate Vm.create's heap sizing so the device can be provisioned
@@ -80,6 +85,8 @@ let create ?(tracer = Trace.null) ~(cfg : Holes.Config.t) ~(tenant : Tenant.para
       max_replacements;
       srng = Xrng.split rng;
       evictions = 0;
+      gc_pause = Holes_obs.Stats.hist ();
+      inc_active = false;
     }
   in
   let slots =
@@ -99,11 +106,21 @@ let vm (t : t) (i : int) : Holes.Vm.t option = t.slots.(i).vm
 (** Evict slot [i]: detach its VM from the node and try to place a
     replacement.  The slot goes permanently dead when its replacement
     budget is spent or the node cannot back another heap. *)
+(* Fold one VM's pause histograms (and its incremental flag) into the
+   pool accumulator.  Called at eviction and again for the survivors at
+   harvest time. *)
+let absorb_pauses (t : t) (vm : Holes.Vm.t) : unit =
+  let m = Holes.Vm.metrics vm in
+  Holes_obs.Stats.merge t.gc_pause m.Holes.Metrics.pause_hist;
+  Holes_obs.Stats.merge t.gc_pause m.Holes.Metrics.nursery_pause_hist;
+  if m.Holes.Metrics.inc_active then t.inc_active <- true
+
 let evict (t : t) (i : int) : unit =
   let s = t.slots.(i) in
   match s.vm with
   | None -> ()
   | Some vm ->
+      absorb_pauses t vm;
       (match Holes.Vm.device_state vm with
       | Some st -> Holes.Memory_backend.detach st
       | None -> ());
@@ -164,6 +181,35 @@ let storm (t : t) ~(writes : int) : unit =
      ignore (Osal.Interrupts.service irq)
    with Holes.Vm.Out_of_memory -> ());
   sweep_oom t
+
+(** GC-pause histogram (full + nursery, ns) across every tenant the
+    device has hosted: VMs harvested at eviction plus the current
+    residents.  Returns a fresh histogram; the pool is unchanged, so
+    calling this mid-run is safe. *)
+let gc_pause_hist (t : t) : Holes_obs.Stats.hist =
+  let h = Holes_obs.Stats.copy t.gc_pause in
+  Array.iter
+    (fun s ->
+      match s.vm with
+      | Some vm ->
+          let m = Holes.Vm.metrics vm in
+          Holes_obs.Stats.merge h m.Holes.Metrics.pause_hist;
+          Holes_obs.Stats.merge h m.Holes.Metrics.nursery_pause_hist
+      | None -> ())
+    t.slots;
+  h
+
+(** Whether any tenant (evicted or resident) ran with a GC increment
+    budget — gates the pause fields in the fleet JSONL so stop-the-world
+    runs keep their historical record shape. *)
+let inc_active (t : t) : bool =
+  t.inc_active
+  || Array.exists
+       (fun s ->
+         match s.vm with
+         | Some vm -> (Holes.Vm.metrics vm).Holes.Metrics.inc_active
+         | None -> false)
+       t.slots
 
 (** Wear statistics of the pooled device at this instant. *)
 let wear_cov (t : t) : float = Pcm.Device.wear_cov t.node.Holes.Memory_backend.n_device

@@ -21,6 +21,12 @@ type partial = {
   latency : Stats.hist;  (** completion latency, ns *)
   epoch : Stats.hist array;  (** latency split by completion-time epoch *)
   mutable gc_ns : float;  (** collector time across the device's tenants *)
+  gc_pause : Stats.hist;
+      (** individual GC pauses (full/increment + nursery, ns) across the
+          device's tenants, evicted and surviving *)
+  mutable inc_active : bool;
+      (** any tenant ran with a GC increment budget; gates the pause
+          fields so stop-the-world records keep their historical shape *)
   mutable wear_cov : float;  (** within-device wear CoV at run end *)
   mutable device_writes : int;
   mutable device_failures : int;
@@ -40,6 +46,8 @@ let partial ~(device_index : int) ~(epochs : int) : partial =
     latency = Stats.hist ();
     epoch = Array.init (max 1 epochs) (fun _ -> Stats.hist ());
     gc_ns = 0.0;
+    gc_pause = Stats.hist ();
+    inc_active = false;
     wear_cov = 0.0;
     device_writes = 0;
     device_failures = 0;
@@ -85,6 +93,13 @@ let partial_fields (p : partial) : (string * float) list =
     ("dead_tenants", float_of_int p.dead_tenants);
     ("end_ms", ns_to_ms (float_of_int p.end_ns));
   ]
+  @ (if not p.inc_active then []
+     else
+       [
+         ("gc_pause_p99_ms", ns_to_ms (Stats.quantile ~interp:true p.gc_pause 0.99));
+         ("gc_pause_max_ms", ns_to_ms (Stats.max_value p.gc_pause));
+         ("gc_pause_count", float_of_int (Stats.count p.gc_pause));
+       ])
   @ per_epoch
 
 type t = {
@@ -110,6 +125,10 @@ type t = {
   device_writes : int;
   device_failures : int;
   gc_ms : float;
+  gc_pause : Stats.hist;  (** individual GC pauses across the fleet, ns *)
+  gc_pause_p99_ms : float;  (** interpolated p99 of [gc_pause] *)
+  gc_pause_max_ms : float;  (** worst single mutator stall anywhere *)
+  inc_active : bool;  (** any tenant ran incrementally *)
 }
 
 (** Fold per-device partials (callers pass them in device-index order;
@@ -134,6 +153,7 @@ let merge ~(duration_ms : float) ~(tenants : int) (parts : partial list) : t =
   let good = sum (fun p -> p.good) in
   let dur_s = duration_ms /. 1e3 in
   let p50_ms, p99_ms, p999_ms = quantiles_ms latency in
+  let gc_pause = Stats.merged (List.map (fun (p : partial) -> p.gc_pause) parts) in
   {
     devices;
     tenants;
@@ -159,6 +179,10 @@ let merge ~(duration_ms : float) ~(tenants : int) (parts : partial list) : t =
     device_writes = sum (fun p -> p.device_writes);
     device_failures = sum (fun p -> p.device_failures);
     gc_ms = ns_to_ms (sumf (fun p -> p.gc_ns));
+    gc_pause;
+    gc_pause_p99_ms = ns_to_ms (Stats.quantile ~interp:true gc_pause 0.99);
+    gc_pause_max_ms = ns_to_ms (Stats.max_value gc_pause);
+    inc_active = List.exists (fun (p : partial) -> p.inc_active) parts;
   }
 
 (** Flat metrics of the merged report (figure rows, tests). *)
@@ -184,12 +208,24 @@ let fields (t : t) : (string * float) list =
     ("device_failures", float_of_int t.device_failures);
     ("gc_ms", t.gc_ms);
   ]
+  @ (if not t.inc_active then []
+     else
+       [
+         ("gc_pause_p99_ms", t.gc_pause_p99_ms);
+         ("gc_pause_max_ms", t.gc_pause_max_ms);
+         ("gc_pause_count", float_of_int (Stats.count t.gc_pause));
+       ])
   @ List.concat
       (List.mapi
          (fun i h -> [ (Printf.sprintf "epoch%d_p99_ms" i, ns_to_ms (Stats.quantile h 0.99)) ])
          (Array.to_list t.epoch))
 
 let pp (ppf : Format.formatter) (t : t) : unit =
+  let pauses ppf =
+    if Stats.count t.gc_pause > 0 then
+      Format.fprintf ppf "@,gc pauses: %d recorded, p99 %.3f ms, max %.3f ms"
+        (Stats.count t.gc_pause) t.gc_pause_p99_ms t.gc_pause_max_ms
+  in
   Format.fprintf ppf
     "@[<v>fleet: %d tenants over %d devices, %.0f ms window@,\
      requests: %d arrived, %d completed, %d good (SLO), %d failed, %d dropped@,\
@@ -197,7 +233,7 @@ let pp (ppf : Format.formatter) (t : t) : unit =
      latency: p50 %.3f ms, p99 %.3f ms, p999 %.3f ms@,\
      wear CoV: mean %.4f, max %.4f@,\
      lifecycle: %d evictions, %d dead tenants@,\
-     device: %d writes, %d wear failures; gc %.2f ms@]" t.tenants t.devices t.duration_ms
+     device: %d writes, %d wear failures; gc %.2f ms%t@]" t.tenants t.devices t.duration_ms
     t.arrived t.completed t.good t.failed t.dropped t.throughput_rps t.goodput_rps t.p50_ms
     t.p99_ms t.p999_ms t.wear_cov_mean t.wear_cov_max t.evictions t.dead_tenants
-    t.device_writes t.device_failures t.gc_ms
+    t.device_writes t.device_failures t.gc_ms pauses

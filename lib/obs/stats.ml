@@ -46,20 +46,35 @@ let min_value (h : hist) : float = if h.count = 0 then 0.0 else h.min_v
 (* Upper bound of bucket [b]: 2^b (bucket 0 covers [0, 1)). *)
 let bucket_upper (b : int) : float = Float.ldexp 1.0 b
 
-let quantile (h : hist) (q : float) : float =
+let quantile ?(interp = false) (h : hist) (q : float) : float =
   if h.count = 0 then 0.0
   else begin
     let q = Float.min 1.0 (Float.max 0.0 q) in
     let target = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    (* bucket holding the target rank, plus the rank count before it *)
     let rec find b acc =
-      if b >= nbuckets - 1 then b
+      if b >= nbuckets - 1 then (b, acc)
       else
-        let acc = acc + h.buckets.(b) in
-        if acc >= target then b else find (b + 1) acc
+        let acc' = acc + h.buckets.(b) in
+        if acc' >= target then (b, acc) else find (b + 1) acc'
     in
-    let b = find 0 0 in
-    (* clamp the bucket bound by the actually observed extremes *)
-    Float.max h.min_v (Float.min (bucket_upper b) h.max_v)
+    let b, before = find 0 0 in
+    if not interp then
+      (* clamp the bucket bound by the actually observed extremes *)
+      Float.max h.min_v (Float.min (bucket_upper b) h.max_v)
+    else begin
+      (* sub-bucket linear interpolation: place the target rank
+         proportionally between the bucket's edges, with the edges
+         themselves anchored by the exact observed extremes — so
+         [quantile ~interp:true h 1.0] is the exact maximum *)
+      let inb = max 1 h.buckets.(b) in
+      let lo = if b = 0 then 0.0 else Float.ldexp 1.0 (b - 1) in
+      let hi = bucket_upper b in
+      let lo = Float.max lo h.min_v in
+      let hi = Float.max lo (Float.min hi h.max_v) in
+      let frac = float_of_int (target - before) /. float_of_int inb in
+      lo +. (frac *. (hi -. lo))
+    end
   end
 
 let merge (into : hist) (src : hist) : unit =

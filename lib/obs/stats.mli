@@ -69,11 +69,21 @@ val min_value : hist -> float
 val max_value : hist -> float
 (** Largest observation (0 when empty). *)
 
-val quantile : hist -> float -> float
+val quantile : ?interp:bool -> hist -> float -> float
 (** [quantile h q] estimates the [q]-quantile ([q] clamped to [\[0,1\]])
     as the upper bound of the bucket holding the [q]-th observation,
     clamped to the observed [min]/[max].  Precision is one power of two
-    — adequate for pause-time p50/p99 reporting. *)
+    — adequate for pause-time p50/p99 reporting.
+
+    With [~interp:true] the estimate is refined by sub-bucket linear
+    interpolation: the target rank is placed proportionally between the
+    bucket's edges, which are themselves anchored by the exact observed
+    extremes, so [quantile ~interp:true h 1.0] returns the exact
+    maximum.  Log{_2} buckets alone are too coarse to state a
+    pause-time SLO (a p999 answer of "somewhere below 2{^21} ns" spans
+    a factor of two); interpolation brings the error well under one
+    bucket width for smooth distributions.  The default ([false])
+    preserves the historical estimator bit-for-bit. *)
 
 val merge : hist -> hist -> unit
 (** [merge into src] folds [src]'s observations into [into]. *)

@@ -55,6 +55,16 @@ let iter (t : t) (f : int -> unit) : unit =
     f t.data.(i)
   done
 
+(** Drop the first [n] elements, shifting the rest down (order kept).
+    [n] is clamped to the length. *)
+let drop_prefix (t : t) (n : int) : unit =
+  if n > 0 then begin
+    let n = min n t.len in
+    let keep = t.len - n in
+    Array.blit t.data n t.data 0 keep;
+    t.len <- keep
+  end
+
 (** Keep only elements satisfying [p], preserving order. *)
 let filter_in_place (t : t) (p : int -> bool) : unit =
   let j = ref 0 in

@@ -170,6 +170,29 @@ let test_eviction_preserves_invariants () =
   done;
   if !checked = 0 then Alcotest.fail "no survivors left to verify"
 
+(* ---- incremental collection: gated pause reporting -------------------- *)
+
+let test_incremental_pause_report () =
+  (* stop-the-world: the pause fields stay out of the report, so the
+     committed sink golden keeps its record shape *)
+  let stw = Sim.run ~jobs:2 (aging_params ()) in
+  if stw.Report.inc_active then Alcotest.fail "STW fleet flagged as incremental";
+  if List.mem_assoc "gc_pause_max_ms" (Report.fields stw) then
+    Alcotest.fail "STW report leaked the gated pause fields";
+  (* incremental: the fields appear, pauses were recorded, and the worst
+     stall respects the figure's pause-time SLO *)
+  let p = aging_params () in
+  let p = { p with Sim.cfg = { p.Sim.cfg with Holes.Config.gc_slice = 256 } } in
+  let r = Sim.run ~jobs:2 p in
+  if not r.Report.inc_active then Alcotest.fail "incremental fleet not flagged";
+  if not (List.mem_assoc "gc_pause_max_ms" (Report.fields r)) then
+    Alcotest.fail "incremental report missing the pause fields";
+  if Holes_obs.Stats.count r.Report.gc_pause = 0 then
+    Alcotest.fail "incremental fleet recorded no GC pauses";
+  if r.Report.gc_pause_max_ms > Holes_exp.Fleet_figure.pause_slo_ms then
+    Alcotest.failf "max GC pause %.3f ms exceeds the %.1f ms pause SLO"
+      r.Report.gc_pause_max_ms Holes_exp.Fleet_figure.pause_slo_ms
+
 (* ---- golden snapshot of the sink records ----------------------------- *)
 
 let find_sub (haystack : string) (needle : string) : int option =
@@ -246,5 +269,6 @@ let suite =
     ("fleet report bit-identical at -j 1 / -j 4", `Quick, test_jobs_bit_identical);
     ("report accounting is conserved", `Quick, test_report_accounting);
     ("eviction preserves verifier invariants", `Quick, test_eviction_preserves_invariants);
+    ("incremental pause report is gated and SLO-bounded", `Quick, test_incremental_pause_report);
     ("fleet sink records match golden, -j independent", `Quick, test_golden);
   ]

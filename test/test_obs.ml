@@ -66,6 +66,71 @@ let test_hist_quantile () =
   (* p50 of 1..100 must land within the enclosing power-of-two bucket *)
   check Alcotest.bool "p50 plausible" true (q50 >= 32.0 && q50 <= 128.0)
 
+(* Sub-bucket interpolation against a sorted-array reference: the
+   rank-based reference quantile is sorted.(ceil(q*n) - 1); the
+   interpolated estimate must stay inside the reference value's log2
+   bucket (error < one bucket width), be monotone in q, and hit the
+   exact max at q = 1. *)
+let test_hist_quantile_interp () =
+  let reference (xs : float array) (q : float) : float =
+    let n = Array.length xs in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    xs.(rank - 1)
+  in
+  let check_against (name : string) (xs : float array) : unit =
+    Array.sort compare xs;
+    let h = Stats.hist () in
+    Array.iter (Stats.observe h) xs;
+    check (Alcotest.float 1e-9)
+      (name ^ ": q=1 is the exact max")
+      (Stats.max_value h)
+      (Stats.quantile ~interp:true h 1.0);
+    List.iter
+      (fun q ->
+        let est = Stats.quantile ~interp:true h q in
+        let ref_v = reference xs q in
+        check Alcotest.bool
+          (Printf.sprintf "%s: q=%.3f within observed range" name q)
+          true
+          (est >= Stats.min_value h && est <= Stats.max_value h);
+        (* same bucket as the reference rank => error < one bucket width *)
+        let b = Stats.bucket_of ref_v in
+        let lo = if b = 0 then 0.0 else Float.ldexp 1.0 (b - 1) in
+        let hi = Float.ldexp 1.0 b in
+        check Alcotest.bool
+          (Printf.sprintf "%s: q=%.3f within reference bucket [%g,%g)" name q lo hi)
+          true
+          (est >= lo && est <= hi))
+      [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999 ];
+    (* monotone in q *)
+    let prev = ref neg_infinity in
+    List.iter
+      (fun q ->
+        let est = Stats.quantile ~interp:true h q in
+        check Alcotest.bool (name ^ ": monotone in q") true (est >= !prev);
+        prev := est)
+      [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 0.99; 1.0 ]
+  in
+  check_against "uniform 1..1000" (Array.init 1000 (fun i -> float_of_int (i + 1)));
+  check_against "powers-ish"
+    (Array.init 500 (fun i -> Float.ldexp 1.0 (i mod 12) *. (1.0 +. (float_of_int i /. 997.0))));
+  check_against "heavy tail"
+    (Array.init 300 (fun i ->
+         let x = float_of_int (i + 1) /. 300.0 in
+         1.0 /. ((1.0 -. (0.999 *. x)) ** 2.0)));
+  check_against "single value" (Array.make 10 42.0);
+  (* interpolation strictly refines: the estimate never exceeds the
+     historical bucket-upper-bound estimator *)
+  let h = Stats.hist () in
+  for i = 1 to 100 do
+    Stats.observe h (float_of_int i)
+  done;
+  List.iter
+    (fun q ->
+      check Alcotest.bool "interp <= bucket upper bound" true
+        (Stats.quantile ~interp:true h q <= Stats.quantile h q))
+    [ 0.1; 0.5; 0.9; 0.99; 1.0 ]
+
 let test_hist_merge () =
   let a = Stats.hist () and b = Stats.hist () in
   List.iter (Stats.observe a) [ 1.0; 2.0 ];
@@ -326,6 +391,8 @@ let suite =
     Alcotest.test_case "hist bucket boundaries" `Quick test_hist_buckets;
     Alcotest.test_case "hist observe/count/mean" `Quick test_hist_observe;
     Alcotest.test_case "hist quantile clamps" `Quick test_hist_quantile;
+    Alcotest.test_case "hist quantile interpolation vs reference" `Quick
+      test_hist_quantile_interp;
     Alcotest.test_case "hist merge and copy" `Quick test_hist_merge;
     Alcotest.test_case "hist to_fields" `Quick test_hist_fields;
     Alcotest.test_case "trace covers 4+ layers" `Quick test_trace_layers;
