@@ -21,9 +21,10 @@
      main.exe wearlevel       the Sec. 7.2 wear-leveling ablation
      main.exe wearlife        device-backend wear-lifetime sweep
      main.exe fleet           the fleet-serving tail-latency figure
+     main.exe hybrid          the DRAM/PCM tiering absorption figure
      main.exe figures-quick   reduced CI grid (fig4 + headline +
-                              wearlevel + fleet, the last two to their
-                              own sink files)
+                              wearlevel + fleet + hybrid, the last
+                              three to their own sink files)
      main.exe speedup         wall-clock of the quick grid, -j 1 vs -j max
      main.exe micro           Bechamel microbenchmarks (one per
                               operation family underlying the figures) *)
@@ -49,6 +50,7 @@ let figures : (string * (params:Holes_exp.Runner.params -> Holes_stdx.Table.t)) 
     ("wearlevel", fun ~params -> Holes_exp.Wear_policies.table ~params ());
     ("wearlife", fun ~params -> Holes_exp.Wear_lifetime.table ~params ());
     ("fleet", fun ~params -> Holes_exp.Fleet_figure.table ~params ());
+    ("hybrid", fun ~params -> Holes_exp.Hybrid_figure.table ~params ());
     ("ablation", fun ~params -> Holes_exp.Figures.ablation ~params ());
   ]
 
@@ -213,7 +215,8 @@ let run_quick_grid ~params ~out =
       (fun () -> Holes_stdx.Table.print (table ()))
   in
   print_to_own_sink "wearlevel" (fun () -> Holes_exp.Wear_policies.table ~params ());
-  print_to_own_sink "fleet" (fun () -> Holes_exp.Fleet_figure.table ~params ())
+  print_to_own_sink "fleet" (fun () -> Holes_exp.Fleet_figure.table ~params ());
+  print_to_own_sink "hybrid" (fun () -> Holes_exp.Hybrid_figure.table ~params ())
 
 (* `speedup`: measure the parallelism win instead of asserting it — the
    same reduced grid, wall-clocked at -j 1 and -j max from a cold memo

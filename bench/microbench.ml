@@ -211,6 +211,72 @@ let translate_kernel () : int * (unit -> unit) =
       done;
       ignore !acc )
 
+(* migrate: the DRAM/PCM tiering hot path end to end — per-page heat
+   tracking on every charged line write, promotion (frame grab, Vmm
+   retarget, charged page copy), the DRAM-resident fast path, epoch
+   decay and cold-page demotion write-backs.  A tiny epoch and a small
+   frame pool force the promote/demote cycle to turn over constantly,
+   so the kernel times the tiering machinery rather than a settled
+   resident set.  device_write and translate above stay tier-free, so
+   they keep isolating the arena and pipeline costs. *)
+let migrate_kernel () : int * (unit -> unit) =
+  let d = Holes.Config.default_device in
+  let cfg =
+    {
+      Holes.Config.default with
+      Holes.Config.backend = Holes.Config.Device { d with Holes.Config.dram_pages = 8 };
+      hybrid = { Holes_pcm.Hybrid.migrate_epoch = Some 256; caram_ways = None };
+    }
+  in
+  let iters = 4000 in
+  ( iters,
+    fun () ->
+      let vm = Holes.Vm.create ~cfg ~min_heap_bytes:(1 lsl 20) () in
+      for _ = 1 to iters do
+        let id = Holes.Vm.alloc vm ~size:48 () in
+        Holes.Vm.kill vm id
+      done )
+
+(* dedup: the content-store stage in front of the cells — FNV
+   fingerprint, set lookup, dedup refcount bump, pattern compression,
+   install and LRU eviction — on a write mix of shared, all-same-byte
+   and unique payloads.  device_write above stays content-blind, so
+   the pair separates the store's cost from the arena's. *)
+let dedup_kernel () : int * (unit -> unit) =
+  let config =
+    {
+      Holes_pcm.Device.default_config with
+      Holes_pcm.Device.pages = 64;
+      wear = Holes_pcm.Wear.default_params;
+      caram = Some 8;
+    }
+  in
+  let dev = Holes_pcm.Device.create ~config ~seed:7 () in
+  let line_bytes = Holes_pcm.Geometry.line_bytes in
+  let nlines = Holes_pcm.Device.nlines dev in
+  let shared =
+    Array.init 12 (fun k ->
+        Bytes.init line_bytes (fun i -> Char.chr (((k * 37) + (i * 11)) land 0xff)))
+  in
+  let pattern = Bytes.make line_bytes '\xAB' in
+  let unique = Bytes.make line_bytes 'u' in
+  let passes = 8 in
+  ( passes * nlines,
+    fun () ->
+      for p = 1 to passes do
+        for l = 0 to nlines - 1 do
+          let payload =
+            match l land 3 with
+            | 0 | 1 -> shared.(l mod 12)
+            | 2 -> pattern
+            | _ ->
+                Bytes.set_int32_le unique 0 (Int32.of_int ((p * nlines) + l));
+                unique
+          in
+          ignore (Holes_pcm.Device.write dev l payload)
+        done
+      done )
+
 (* fleet: one small device shard end to end — open-loop Poisson
    arrivals through the virtual-clock event queue, two tenant VMs
    attached to the shared node, request service and the report merge.
@@ -236,6 +302,8 @@ let kernels : (string * (unit -> int * (unit -> unit))) list =
     ("gc_pause", gc_pause_kernel);
     ("device_write", device_write_kernel);
     ("translate", translate_kernel);
+    ("migrate", migrate_kernel);
+    ("dedup", dedup_kernel);
     ("fleet", fleet_kernel);
   ]
 

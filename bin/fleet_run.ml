@@ -18,9 +18,9 @@ module Fleet_sim = Holes_fleet.Sim
 module Arrivals = Holes_fleet.Arrivals
 module Report = Holes_fleet.Report
 
-let run tenants devices arrival duration jobs endurance wear_level wear_aware gc_increment
-    req_bytes session_bytes live_kb rate heap storm_every storm_writes slo epochs
-    max_replacements seed out trace epoch_table =
+let run tenants devices arrival duration jobs endurance wear_level wear_aware hybrid
+    dram_pages gc_increment req_bytes session_bytes live_kb rate heap storm_every storm_writes
+    slo epochs max_replacements seed out trace epoch_table =
   let arrival =
     match Arrivals.of_cli arrival with
     | Ok a -> a
@@ -31,19 +31,32 @@ let run tenants devices arrival duration jobs endurance wear_level wear_aware gc
     | Ok p -> p
     | Error m -> failwith (Printf.sprintf "bad --wear-level %S: %s" wear_level m)
   in
+  let hybrid =
+    match Holes_pcm.Hybrid.of_cli hybrid with
+    | Ok p -> p
+    | Error m -> failwith (Printf.sprintf "bad --hybrid %S: %s" hybrid m)
+  in
   let d = Holes.Config.default_device in
   let wear =
     match endurance with
     | None -> d.Holes.Config.wear
     | Some e -> { d.Holes.Config.wear with Holes_pcm.Wear.mean_endurance = e }
   in
+  (* per-tenant baseline: Pool.create scales this by the slot count when
+     migration is on, so the flag provisions frames per tenant, not per
+     device *)
+  let dram_pages =
+    match dram_pages with None -> d.Holes.Config.dram_pages | Some n -> n
+  in
   let cfg =
     {
       Fleet_sim.default.Fleet_sim.cfg with
       Holes.Config.backend =
-        Holes.Config.Device { d with Holes.Config.wear; wear_aware_pools = wear_aware };
+        Holes.Config.Device
+          { d with Holes.Config.wear; wear_aware_pools = wear_aware; dram_pages };
       wear_level;
       gc_slice = gc_increment;
+      hybrid;
       failure_rate = rate;
       heap_factor = heap;
       seed;
@@ -156,6 +169,19 @@ let cmd =
              ~doc:"OS page-allocator leveling: grant the least-worn free perfect page \
                    instead of the free-list head.")
   in
+  let hybrid =
+    Arg.(value & opt string "none"
+         & info [ "hybrid" ] ~docv:"H"
+             ~doc:"DRAM/PCM tiering policy per device: none, migrate[:EPOCH], caram[:WAYS], \
+                   or migrate[:EPOCH]+caram[:WAYS].  With migration on, the node's DRAM is \
+                   provisioned per tenant (--dram-pages × slots).")
+  in
+  let dram_pages =
+    Arg.(value & opt (some int) None
+         & info [ "dram-pages" ] ~docv:"N"
+             ~doc:"DRAM frames per tenant in front of each device's PCM namespace (default \
+                   16).")
+  in
   let gc_increment =
     Arg.(value & opt int 0
          & info [ "gc-increment" ] ~docv:"BUDGET"
@@ -229,8 +255,8 @@ let cmd =
     (Cmd.info "fleet-run" ~doc)
     Term.(
       const run $ tenants $ devices $ arrival $ duration $ jobs $ endurance $ wear_level
-      $ wear_aware $ gc_increment $ req_bytes $ session_bytes $ live_kb $ rate $ heap
-      $ storm_every $ storm_writes $ slo $ epochs $ max_replacements $ seed $ out $ trace
-      $ epoch_table)
+      $ wear_aware $ hybrid $ dram_pages $ gc_increment $ req_bytes $ session_bytes
+      $ live_kb $ rate $ heap $ storm_every $ storm_writes $ slo $ epochs
+      $ max_replacements $ seed $ out $ trace $ epoch_table)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,7 +52,8 @@ let print_outcome (profile : Holes_workload.Profile.t) (cfg : Holes.Config.t) ~(
   if o.Holes_exp.Runner.completed = o.Holes_exp.Runner.trials then 0 else 2
 
 let run list_benches bench collector line_size rate dist model compensate arraylets backend
-    endurance wear_level heap scale seed trials jobs out trace stats verify gc_increment verbose =
+    endurance wear_level hybrid dram_pages heap scale seed trials jobs out trace stats verify
+    gc_increment verbose =
   if list_benches then begin
     print_endline "available benchmark profiles:";
     List.iter
@@ -104,13 +105,21 @@ let run list_benches bench collector line_size rate dist model compensate arrayl
                 | None -> d.Holes.Config.wear
                 | Some e -> { d.Holes.Config.wear with Holes_pcm.Wear.mean_endurance = e }
               in
-              Holes.Config.Device { d with Holes.Config.wear }
+              let dram_pages =
+                match dram_pages with None -> d.Holes.Config.dram_pages | Some n -> n
+              in
+              Holes.Config.Device { d with Holes.Config.wear; dram_pages }
           | other -> failwith (Printf.sprintf "unknown backend %S (static|device)" other)
         in
         let wear_level =
           match Holes_pcm.Translate.of_cli wear_level with
           | Ok p -> p
           | Error m -> failwith (Printf.sprintf "bad --wear-level %S: %s" wear_level m)
+        in
+        let hybrid =
+          match Holes_pcm.Hybrid.of_cli hybrid with
+          | Ok p -> p
+          | Error m -> failwith (Printf.sprintf "bad --hybrid %S: %s" hybrid m)
         in
         let cfg =
           {
@@ -129,6 +138,7 @@ let run list_benches bench collector line_size rate dist model compensate arrayl
             failure_model;
             verify;
             gc_slice = gc_increment;
+            hybrid;
             seed;
           }
         in
@@ -211,7 +221,15 @@ let run list_benches bench collector line_size rate dist model compensate arrayl
                      CoV %.3f\n"
                     m.Holes.Metrics.wl_gap_moves m.Holes.Metrics.wl_remaps
                     m.Holes.Metrics.wl_remap_copies m.Holes.Metrics.wl_meta_writes
-                    m.Holes.Metrics.wear_cov
+                    m.Holes.Metrics.wear_cov;
+                if m.Holes.Metrics.hybrid_active then
+                  Printf.printf
+                    "hybrid:     %d promotes, %d demotes, %d DRAM writes, %d resident; \
+                     caram %d dedup + %d compressed (%d meta)\n"
+                    m.Holes.Metrics.hyb_promotes m.Holes.Metrics.hyb_demotes
+                    m.Holes.Metrics.hyb_dram_writes m.Holes.Metrics.hyb_resident
+                    m.Holes.Metrics.hyb_dedup_hits m.Holes.Metrics.hyb_compressed
+                    m.Holes.Metrics.hyb_meta_writes
               end
             end;
             if stats then begin
@@ -274,6 +292,19 @@ let cmd =
                    none, startgap[:PSI], random[:PSI] or decoder[:PSI] (PSI = writes between \
                    moves, default 100).")
   in
+  let hybrid =
+    Arg.(value & opt string "none"
+         & info [ "hybrid" ] ~docv:"H"
+             ~doc:"Device backend: DRAM/PCM tiering policy: none, migrate[:EPOCH] (hot-page \
+                   promotion into DRAM frames, EPOCH = charged writes per decay round), \
+                   caram[:WAYS] (content-aware dedup/compression store in front of the \
+                   cells), or migrate[:EPOCH]+caram[:WAYS].")
+  in
+  let dram_pages =
+    Arg.(value & opt (some int) None
+         & info [ "dram-pages" ] ~docv:"N"
+             ~doc:"Device backend: DRAM frames in front of the PCM namespace (default 16).")
+  in
   let heap =
     Arg.(value & opt float 2.0 & info [ "heap" ] ~docv:"X" ~doc:"Heap size as a multiple of the minimum.")
   in
@@ -328,7 +359,7 @@ let cmd =
     (Cmd.info "holes-run" ~doc)
     Term.(
       const run $ list_f $ bench $ collector $ line_size $ rate $ dist $ model $ compensate
-      $ arraylets $ backend $ endurance $ wear_level $ heap $ scale $ seed $ trials $ jobs
-      $ out $ trace $ stats $ verify $ gc_increment $ verbose)
+      $ arraylets $ backend $ endurance $ wear_level $ hybrid $ dram_pages $ heap $ scale
+      $ seed $ trials $ jobs $ out $ trace $ stats $ verify $ gc_increment $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,6 +23,7 @@ let () =
           wear = { Pcm.Wear.mean_endurance = 400.0; sigma = 0.3; ecp_entries = 2; ecp_extension = 0.15 };
           clustering = Some 2;
           buffer_capacity = 16;
+          caram = None;
           wear_level = None;
         }
       ~seed:5 ()

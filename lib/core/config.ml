@@ -96,6 +96,13 @@ type t = {
           evacuation are budgeted proportionally), so the recorded pause
           is per-slice rather than per-cycle.  Total GC work is
           unchanged — only its interleaving with the mutator. *)
+  hybrid : Holes_pcm.Hybrid.policy;
+      (** DRAM/PCM tiering policy (DESIGN.md §17): MigrantStore-style
+          hot-page migration into DRAM frames and/or a CARAM-style
+          content-aware line store in front of the cells.
+          {!Holes_pcm.Hybrid.none} (the default) is byte-identical to
+          the untiered system.  Parsed/printed by
+          [Holes_pcm.Hybrid.of_cli]/[to_cli] *)
   seed : int;
 }
 
@@ -116,6 +123,7 @@ let default : t =
     failure_model = From_dist;
     verify = false;
     gc_slice = 0;
+    hybrid = Holes_pcm.Hybrid.none;
     seed = 42;
   }
 
@@ -151,6 +159,12 @@ let name (t : t) : string =
     match t.wear_level with
     | None -> base
     | Some _ -> base ^ "-wl" ^ Holes_pcm.Translate.short_name t.wear_level
+  in
+  (* like -wa and -wl, the -hyb tag only appears when a tiering policy
+     is on: untiered configurations keep their names *)
+  let base =
+    if Holes_pcm.Hybrid.is_none t.hybrid then base
+    else base ^ "-hyb" ^ Holes_pcm.Hybrid.short_name t.hybrid
   in
   (* like -wa and -wl, the -inc tag only appears when incremental
      collection is on: stop-the-world configurations keep their names *)
@@ -209,10 +223,16 @@ let validate (t : t) : (unit, string) result =
               Error
                 "wear_level stages live in the device pipeline; the static backend bakes any \
                  leveling into its failure map"
+            else if not (Holes_pcm.Hybrid.is_none t.hybrid) then
+              Error
+                "hybrid tiering needs the device backend: the static backend has no DRAM \
+                 frames or content store to absorb writes"
             else Ok ()
         | Device d ->
             if not (is_immix t.collector) then
               Error "the device backend requires a failure-aware Immix collector"
             else if d.buffer_capacity <= 0 then Error "device buffer capacity must be positive"
             else if d.dram_pages < 0 then Error "device dram_pages must be non-negative"
+            else if t.hybrid.Holes_pcm.Hybrid.migrate_epoch <> None && d.dram_pages <= 0 then
+              Error "hybrid migration needs at least one DRAM frame (dram_pages > 0)"
             else Ok ())

@@ -32,6 +32,9 @@ type node = {
   n_vmm : Osal.Vmm.t;
   n_interrupts : Osal.Interrupts.t;
   n_dram_pages : int;  (** physical ids below this are DRAM frames *)
+  n_seed : int;  (** the creating config's seed (per-VM derived rngs) *)
+  mutable n_hybrid : Pcm.Hybrid.policy;  (** live tiering policy (DESIGN.md §17) *)
+  mutable n_tier : Osal.Tier.t option;  (** hot-page migration engine, when on *)
 }
 
 type device_state = {
@@ -39,11 +42,23 @@ type device_state = {
   vmm : Osal.Vmm.t;
   proc : Osal.Vmm.process;
   interrupts : Osal.Interrupts.t;
+  node : node;  (** the shared node (tier and policy live here) *)
   dram_pages : int;  (** physical ids below this are DRAM frames *)
   virt_of_stock : int array;  (** stock page id -> mapped virtual page *)
   stock_of_virt : (int, int) Hashtbl.t;
   metrics : Metrics.t;
   payload : Bytes.t;  (** reusable one-line write payload *)
+  mutable content_rng : Xrng.t option;
+      (** content synthesizer for the CARAM store: dedup/compression is
+          meaningless against the constant scrub payload, so with caram
+          on each charged line write draws a content class (zero /
+          recurring pattern / unique).  [None] while caram is off — no
+          extra rng draws, keeping hybrid=none bit-identical *)
+  mutable content_ctr : int;  (** unique-content stamp for the synthesizer *)
+  mutable charge_copy : bytes:int -> unit;
+      (** installed by the VM: charge migration copy traffic to its
+          cost model (tier promotions/demotions triggered by this VM's
+          writes) *)
   mutable line_retired : stock_page:int -> line:int -> data:Bytes.t option -> unit;
       (** installed by the VM once the heap exists: retire 64 B line
           [line] of [stock_page]; [data] is the payload preserved by the
@@ -96,6 +111,7 @@ let create_node ?(tracer = Trace.null) ~(cfg : Config.t) ~(params : Config.devic
           clustering;
           buffer_capacity = params.Config.buffer_capacity;
           wear_level = cfg.Config.wear_level;
+          caram = cfg.Config.hybrid.Pcm.Hybrid.caram_ways;
         }
       ~tracer ~seed:cfg.Config.seed ()
   in
@@ -120,7 +136,25 @@ let create_node ?(tracer = Trace.null) ~(cfg : Config.t) ~(params : Config.devic
     Osal.Pools.set_wear_rank pools
       (Some (fun phys -> if phys < dram_pages then 0 else Pcm.Device.page_wear device (phys - dram_pages)));
   let interrupts = Osal.Interrupts.attach ~tracer ~vmm ~device ~dram_pages () in
-  { n_device = device; n_vmm = vmm; n_interrupts = interrupts; n_dram_pages = dram_pages }
+  let tier =
+    match cfg.Config.hybrid.Pcm.Hybrid.migrate_epoch with
+    | None -> None
+    | Some epoch ->
+        let t = Osal.Tier.create ~tracer ~vmm ~device ~dram_pages ~epoch () in
+        (* a stalled demotion write-back drains the failure buffer the
+           same way the VM's own write path does *)
+        Osal.Tier.set_on_stall t (fun () -> ignore (Osal.Interrupts.service interrupts));
+        Some t
+  in
+  {
+    n_device = device;
+    n_vmm = vmm;
+    n_interrupts = interrupts;
+    n_dram_pages = dram_pages;
+    n_seed = cfg.Config.seed;
+    n_hybrid = cfg.Config.hybrid;
+    n_tier = tier;
+  }
 
 (** Spawn a failure-aware process on [node] and map an [npages]-page
     heap with [mmap_imperfect].  Returns the per-VM backend state and
@@ -143,11 +177,19 @@ let attach ~(node : node) ~(metrics : Metrics.t) ~(npages : int) () :
           vmm = node.n_vmm;
           proc;
           interrupts = node.n_interrupts;
+          node;
           dram_pages = node.n_dram_pages;
           virt_of_stock;
           stock_of_virt;
           metrics;
           payload = Bytes.make Pcm.Geometry.line_bytes '\xAB';
+          content_rng =
+            (match node.n_hybrid.Pcm.Hybrid.caram_ways with
+            | None -> None
+            | Some _ ->
+                Some (Xrng.of_seed (node.n_seed lxor 0xCA4A77 lxor (proc.Osal.Vmm.pid * 0x9E3779))));
+          content_ctr = 0;
+          charge_copy = (fun ~bytes:_ -> ());
           line_retired = (fun ~stock_page:_ ~line:_ ~data:_ -> ());
         }
       in
@@ -187,6 +229,13 @@ let service (st : device_state) : int =
 let detach (st : device_state) : unit =
   ignore (service st);
   st.line_retired <- (fun ~stock_page:_ ~line:_ ~data:_ -> ());
+  (* demote this process's promoted pages first: a munmap of a page
+     mapped to a DRAM frame would free the frame and leak its reserved
+     PCM home *)
+  (match st.node.n_tier with
+  | Some tier ->
+      Osal.Tier.drop_process tier ~pid:st.proc.Osal.Vmm.pid ~charge_copy:st.charge_copy
+  | None -> ());
   Array.iter
     (fun virt ->
       match Osal.Vmm.translate st.proc ~virt with
@@ -199,36 +248,92 @@ type write_outcome =
   | Line_failed  (** wear-out: the failure chain ran (up-call included) *)
   | Skipped  (** unusable / DRAM-backed / unmapped line: no device write *)
 
+(* Synthesize the line content for a charged write.  The scrub payload
+   is a constant, which would make content-aware dedup trivially
+   perfect; with caram live each write instead draws a content class
+   from the paper-adjacent mix CARAM evaluates against: ~30% zero
+   lines (compressible), ~15% from a small pool of recurring patterns
+   (dedupable), the rest unique.  Returns [st.payload], filled in
+   place. *)
+let content_for_write (st : device_state) : Bytes.t =
+  (match st.content_rng with
+  | None -> ()  (* caram off: the constant scrub payload, zero rng draws *)
+  | Some rng ->
+      let r = Xrng.int rng 100 in
+      if r < 30 then Bytes.fill st.payload 0 (Bytes.length st.payload) '\x00'
+      else if r < 45 then begin
+        let k = Xrng.int rng 12 in
+        for i = 0 to Bytes.length st.payload - 1 do
+          Bytes.unsafe_set st.payload i (Char.unsafe_chr (((k * 37) + (i * 11)) land 0xff))
+        done
+      end
+      else begin
+        (* unique content: a counter stamp over the scrub pattern *)
+        Bytes.fill st.payload 0 (Bytes.length st.payload) '\xAB';
+        st.content_ctr <- st.content_ctr + 1;
+        let c = st.content_ctr in
+        for i = 0 to 7 do
+          Bytes.unsafe_set st.payload i (Char.unsafe_chr ((c lsr (i * 8)) land 0xff))
+        done
+      end);
+  st.payload
+
 (** Charge one 64 B line store on [stock_page]/[line] through the device
     write path.  A wear failure fires the device callback, and the
     interrupt is serviced immediately — by the time this returns, the
     runtime's [line_retired] hook has run and the line is retired.  A
     stalled device (failure-buffer pressure) is drained and the write
-    retried once. *)
+    retried once.  With tiering on, writes whose translation lands on
+    a promoted DRAM frame are absorbed by the tier (dirty-line
+    tracking, no device write), and PCM writes feed the tier's
+    hot-page counters. *)
 let device_write (st : device_state) ~(stock_page : int) ~(line : int) : write_outcome =
   Stats.observe st.metrics.Metrics.fbuf_occupancy_hist
     (float_of_int (Pcm.Device.buffer_occupancy st.device));
-  match Osal.Vmm.translate st.proc ~virt:st.virt_of_stock.(stock_page) with
+  let virt = st.virt_of_stock.(stock_page) in
+  match Osal.Vmm.translate st.proc ~virt with
   | None -> Skipped
-  | Some phys when phys < st.dram_pages -> Skipped
+  | Some phys when phys < st.dram_pages ->
+      (match st.node.n_tier with
+      | Some tier ->
+          ignore
+            (Osal.Tier.note_dram_write tier ~phys ~line ~payload:(content_for_write st)
+               ~charge_copy:st.charge_copy)
+      | None -> ());
+      Skipped
   | Some phys -> (
       let logical = ((phys - st.dram_pages) * lines_per_page) + line in
       if not (Pcm.Device.line_usable st.device logical) then Skipped
-      else
-        let write () = Pcm.Device.write st.device logical st.payload in
+      else begin
+        let payload = content_for_write st in
+        let note () =
+          match st.node.n_tier with
+          | Some tier ->
+              Osal.Tier.note_pcm_write tier st.proc ~virt ~pcm_phys:phys
+                ~charge_copy:st.charge_copy
+          | None -> ()
+        in
+        let write () = Pcm.Device.write st.device logical payload in
         match write () with
-        | Pcm.Device.Stored -> Stored
+        | Pcm.Device.Stored ->
+            note ();
+            Stored
         | Pcm.Device.Write_failed ->
             ignore (service st);
+            note ();
             Line_failed
         | Pcm.Device.Stalled -> (
             ignore (service st);
             match write () with
-            | Pcm.Device.Stored -> Stored
+            | Pcm.Device.Stored ->
+                note ();
+                Stored
             | Pcm.Device.Write_failed ->
                 ignore (service st);
+                note ();
                 Line_failed
-            | Pcm.Device.Stalled -> Skipped))
+            | Pcm.Device.Stalled -> Skipped)
+      end)
 
 (** Copy the pipeline's counters into the VM metrics (idempotent
     assignment, called at run end and before printing summaries). *)
@@ -246,6 +351,22 @@ let sync (st : device_state) : unit =
   m.Metrics.reverse_translations <- Osal.Vmm.reverse_translations st.vmm;
   m.Metrics.swap_ins <- Osal.Vmm.swap_ins st.vmm;
   m.Metrics.wear_cov <- Pcm.Device.wear_cov st.device;
+  (match s.Pcm.Device.caram with
+  | None -> ()
+  | Some cs ->
+      m.Metrics.hybrid_active <- true;
+      m.Metrics.hyb_dedup_hits <- cs.Pcm.Caram.s_dedup_hits;
+      m.Metrics.hyb_compressed <- cs.Pcm.Caram.s_compressed;
+      m.Metrics.hyb_meta_writes <- cs.Pcm.Caram.s_meta_writes);
+  (match st.node.n_tier with
+  | None -> ()
+  | Some tier ->
+      let ts = Osal.Tier.stats tier in
+      m.Metrics.hybrid_active <- true;
+      m.Metrics.hyb_promotes <- ts.Osal.Tier.s_promotes;
+      m.Metrics.hyb_demotes <- ts.Osal.Tier.s_demotes;
+      m.Metrics.hyb_dram_writes <- ts.Osal.Tier.s_dram_writes;
+      m.Metrics.hyb_resident <- ts.Osal.Tier.s_resident);
   match s.Pcm.Device.wl with
   | None -> ()
   | Some wl ->
@@ -263,4 +384,35 @@ let sync (st : device_state) : unit =
 let set_wear_level (st : device_state) (p : Pcm.Wear_level.policy option) : unit =
   ignore (service st);
   Pcm.Device.set_wear_level st.device p;
+  ignore (service st)
+
+(** Switch the node's tiering policy mid-run.  Pending interrupts are
+    drained on both sides.  Turning migration off demotes every
+    resident first (dirty lines write back through the normal path);
+    turning caram off writes every bound line's content through the
+    cells.  Both directions leave the data intact — only who absorbs
+    future writes changes. *)
+let set_hybrid (st : device_state) (p : Pcm.Hybrid.policy) : unit =
+  ignore (service st);
+  (match (st.node.n_tier, p.Pcm.Hybrid.migrate_epoch) with
+  | Some tier, None ->
+      Osal.Tier.drop_all tier ~charge_copy:st.charge_copy;
+      st.node.n_tier <- None
+  | None, Some epoch ->
+      let tier =
+        Osal.Tier.create ~vmm:st.vmm ~device:st.device ~dram_pages:st.dram_pages ~epoch ()
+      in
+      let interrupts = st.interrupts in
+      Osal.Tier.set_on_stall tier (fun () -> ignore (Osal.Interrupts.service interrupts));
+      st.node.n_tier <- Some tier
+  | Some _, Some _ | None, None -> ());
+  Pcm.Device.set_caram st.device p.Pcm.Hybrid.caram_ways;
+  (match (st.content_rng, p.Pcm.Hybrid.caram_ways) with
+  | None, Some _ ->
+      st.content_rng <-
+        Some
+          (Xrng.of_seed
+             (st.node.n_seed lxor 0xCA4A77 lxor (st.proc.Osal.Vmm.pid * 0x9E3779)))
+  | _ -> ());
+  st.node.n_hybrid <- p;
   ignore (service st)

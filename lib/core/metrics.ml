@@ -54,6 +54,18 @@ type t = {
      stop-the-world records stay byte-identical to the existing schema *)
   mutable inc_active : bool;  (** incremental collection was enabled at some point *)
   mutable gc_increments : int;  (** collection slices executed (snapshot/mark/sweep/defrag) *)
+  (* hybrid DRAM/PCM tiering (Config.hybrid, DESIGN.md §17): absorption
+     counters, synced from the tier and the device's content store.
+     Serialized only when a tiering mechanism was ever on
+     ([hybrid_active]) so untiered records stay byte-identical. *)
+  mutable hybrid_active : bool;  (** a tiering mechanism was enabled at some point *)
+  mutable hyb_promotes : int;  (** PCM pages promoted into DRAM frames *)
+  mutable hyb_demotes : int;  (** promoted pages demoted back to their PCM home *)
+  mutable hyb_dram_writes : int;  (** charged line writes absorbed by promoted frames *)
+  mutable hyb_resident : int;  (** pages resident in DRAM at sync time *)
+  mutable hyb_dedup_hits : int;  (** writes absorbed by content dedup *)
+  mutable hyb_compressed : int;  (** writes absorbed as single-byte patterns *)
+  mutable hyb_meta_writes : int;  (** content-store metadata writes *)
   (* paranoid heap verifier (Verify): pass/check counters.  Deliberately
      NOT serialized by [to_fields] — JSONL records must be bit-identical
      with the verifier on and off, and these are the only counters the
@@ -112,6 +124,14 @@ let create () : t =
     wear_cov = 0.0;
     inc_active = false;
     gc_increments = 0;
+    hybrid_active = false;
+    hyb_promotes = 0;
+    hyb_demotes = 0;
+    hyb_dram_writes = 0;
+    hyb_resident = 0;
+    hyb_dedup_hits = 0;
+    hyb_compressed = 0;
+    hyb_meta_writes = 0;
     verify_passes = 0;
     verify_checks = 0;
     pause_hist = Holes_obs.Stats.hist ();
@@ -177,6 +197,17 @@ let to_fields (t : t) : (string * float) list =
          ("wear_cov", t.wear_cov);
        ])
   @ (if not t.inc_active then [] else [ ("gc_increments", f t.gc_increments) ])
+  @ (if not t.hybrid_active then []
+     else
+       [
+         ("hyb_promotes", f t.hyb_promotes);
+         ("hyb_demotes", f t.hyb_demotes);
+         ("hyb_dram_writes", f t.hyb_dram_writes);
+         ("hyb_resident", f t.hyb_resident);
+         ("hyb_dedup_hits", f t.hyb_dedup_hits);
+         ("hyb_compressed", f t.hyb_compressed);
+         ("hyb_meta_writes", f t.hyb_meta_writes);
+       ])
   @ Holes_obs.Stats.to_fields ~prefix:"pause_ns" t.pause_hist
   @ Holes_obs.Stats.to_fields ~prefix:"nursery_pause_ns" t.nursery_pause_hist
   @ Holes_obs.Stats.to_fields ~prefix:"hole_search_lines" t.hole_search_hist

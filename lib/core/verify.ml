@@ -456,7 +456,51 @@ let run ~(metrics : Metrics.t) ~(objects : Object_table.t) ~(stock : Page_stock.
           match Pcm.Device.check_translation st.Memory_backend.device with
           | Ok () -> assert false
           | Error e -> e);
-      check_fbuf "device" (Pcm.Device.buffer st.Memory_backend.device));
+      check_fbuf "device" (Pcm.Device.buffer st.Memory_backend.device);
+      (* hybrid tiering residency (DESIGN.md §17): every promoted page's
+         mapping points at its DRAM frame, the frame really is DRAM, and
+         both the frame and the reserved PCM home are held allocated —
+         all through non-counted accessors *)
+      (match st.Memory_backend.node.Memory_backend.n_tier with
+      | None -> ()
+      | Some tier ->
+          let pools = Osal.Vmm.pools st.Memory_backend.vmm in
+          List.iter
+            (fun (pid, virt, dram_phys, pcm_phys) ->
+              check c
+                (dram_phys >= 0 && dram_phys < dram)
+                (fun () ->
+                  Printf.sprintf "tier resident (pid %d, virt %d) on non-DRAM frame %d" pid virt
+                    dram_phys);
+              check c (pcm_phys >= dram) (fun () ->
+                  Printf.sprintf "tier resident (pid %d, virt %d) PCM home %d is a DRAM frame"
+                    pid virt pcm_phys);
+              check c
+                (Osal.Pools.is_allocated pools dram_phys)
+                (fun () ->
+                  Printf.sprintf "tier resident DRAM frame %d not held allocated" dram_phys);
+              check c
+                (Osal.Pools.is_allocated pools pcm_phys)
+                (fun () ->
+                  Printf.sprintf "tier resident PCM home %d not held allocated (leak on demote)"
+                    pcm_phys);
+              match Osal.Vmm.find_process st.Memory_backend.vmm pid with
+              | None ->
+                  check c false (fun () ->
+                      Printf.sprintf "tier resident pid %d has no process" pid)
+              | Some proc ->
+                  check c
+                    (Osal.Vmm.translate proc ~virt = Some dram_phys)
+                    (fun () ->
+                      Printf.sprintf
+                        "tier resident (pid %d, virt %d): mapping disagrees with frame %d" pid
+                        virt dram_phys))
+            (Osal.Tier.residents tier));
+      (* content-store self-audit: refcounts and bindings agree *)
+      List.iter
+        (fun e -> check c false (fun () -> "caram: " ^ e))
+        (Pcm.Device.caram_check st.Memory_backend.device);
+      c.checks <- c.checks + 1 (* the caram audit itself counts once *));
   Option.iter (fun fb -> check_fbuf "injector" fb) fbuf;
 
   metrics.Metrics.verify_checks <- metrics.Metrics.verify_checks + c.checks;

@@ -345,7 +345,13 @@ let create ?(cfg = Config.default) ?(device_map : (npages:int -> Bitset.t) optio
   | Memory_backend.Static -> ()
   | Memory_backend.Device st ->
       st.Memory_backend.line_retired <-
-        (fun ~stock_page ~line ~data -> handle_line_retired t ~stock_page ~line ~data));
+        (fun ~stock_page ~line ~data -> handle_line_retired t ~stock_page ~line ~data);
+      (* hybrid-tiering migration copies are charged to the VM whose
+         write triggered them (requestor pays), at the same per-byte
+         rate as collector copies *)
+      st.Memory_backend.charge_copy <-
+        (fun ~bytes ->
+          Cost.charge cost (cost.Cost.weights.Cost.copy_byte *. float_of_int bytes)));
   if cfg.Config.verify then
     (match space with
     | Ix s -> Immix.set_post_gc_check s (fun () -> Verify.raise_on_errors (verify t))
@@ -489,6 +495,18 @@ let set_wear_level (t : t) (p : Holes_pcm.Wear_level.policy option) : unit =
   | Memory_backend.Device st -> Memory_backend.set_wear_level st p
   | Memory_backend.Static ->
       invalid_arg "Vm.set_wear_level: wear-leveling stages live in the device pipeline"
+
+(** Switch the hybrid DRAM/PCM tiering policy mid-run (device backend
+    only; DESIGN.md §17).  Turning migration off demotes every DRAM
+    resident back to its PCM home (dirty lines written back through
+    the charged device path); turning the content store off flushes
+    its bound lines through the cells.  The torture driver flips this
+    both ways under load. *)
+let set_hybrid (t : t) (p : Holes_pcm.Hybrid.policy) : unit =
+  match t.backend with
+  | Memory_backend.Device st -> Memory_backend.set_hybrid st p
+  | Memory_backend.Static ->
+      invalid_arg "Vm.set_hybrid: hybrid tiering needs the device backend"
 
 (** Switch the incremental-collection work budget mid-run (0 =
     stop-the-world).  On Immix, toggling increments off finishes any

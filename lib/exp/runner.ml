@@ -115,10 +115,15 @@ let device_key (cfg : Holes.Config.t) : string =
   match cfg.Holes.Config.backend with
   | Holes.Config.Static -> "static"
   | Holes.Config.Device d ->
-      Printf.sprintf "dev:e%g:s%g:c%s:b%d:dr%d:wa%b" d.Holes.Config.wear.Holes_pcm.Wear.mean_endurance
+      (* the -hyb name tag carries epoch/ways already, but the key spells
+         the policy out anyway: a hybrid cell must never be served from
+         an untiered memo entry, whatever the name derivation does *)
+      Printf.sprintf "dev:e%g:s%g:c%s:b%d:dr%d:wa%b:hy%s"
+        d.Holes.Config.wear.Holes_pcm.Wear.mean_endurance
         d.Holes.Config.wear.Holes_pcm.Wear.sigma
         (match d.Holes.Config.clustering with None -> "-" | Some n -> string_of_int n)
         d.Holes.Config.buffer_capacity d.Holes.Config.dram_pages d.Holes.Config.wear_aware_pools
+        (Holes_pcm.Hybrid.to_cli cfg.Holes.Config.hybrid)
 
 let cache_key (cfg : Holes.Config.t) (profile : Holes_workload.Profile.t) (p : params) : string =
   (* [verify] changes no serialized result, but the verify_passes means

@@ -31,6 +31,7 @@ type outcome = {
   allocs : int;
   injections : int;  (** direct dynamic-failure strikes on live objects *)
   wl_toggles : int;  (** mid-run wear-leveling stage toggles (device seeds) *)
+  hyb_toggles : int;  (** mid-run DRAM/PCM tiering policy toggles (device seeds) *)
   inc_toggles : int;  (** mid-run incremental-collection budget toggles *)
   churns : int;  (** mid-run tenant spawn/verify/detach cycles (device seeds) *)
   gcs : int;  (** nursery + full collections *)
@@ -126,6 +127,22 @@ let config_of_seed (seed : int) : Cfg.t =
     | 2 -> 32 + Xrng.int rng 96
     | _ -> 256 + Xrng.int rng 512
   in
+  (* device seeds also draw a boot DRAM/PCM tiering policy — again
+     drawn last so earlier fields keep their per-seed values: a quarter
+     of the device seeds boot untiered (the schedule may still toggle
+     tiering on mid-run), the rest split across migration, the content
+     store, and both combined *)
+  let hybrid =
+    if not device then Holes_pcm.Hybrid.none
+    else
+      let epoch = 256 + Xrng.int rng 512 in
+      let ways = [| 2; 4; 8 |].(Xrng.int rng 3) in
+      match Xrng.int rng 4 with
+      | 0 -> Holes_pcm.Hybrid.none
+      | 1 -> { Holes_pcm.Hybrid.migrate_epoch = Some epoch; caram_ways = None }
+      | 2 -> { Holes_pcm.Hybrid.migrate_epoch = None; caram_ways = Some ways }
+      | _ -> { Holes_pcm.Hybrid.migrate_epoch = Some epoch; caram_ways = Some ways }
+  in
   {
     Cfg.default with
     Cfg.collector;
@@ -138,6 +155,7 @@ let config_of_seed (seed : int) : Cfg.t =
     failure_model;
     wear_level;
     gc_slice;
+    hybrid;
     verify = true;
     seed = 0xBEEF + seed;
   }
@@ -200,6 +218,7 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
   let allocs = ref 0 in
   let injections = ref 0 in
   let wl_toggles = ref 0 in
+  let hyb_toggles = ref 0 in
   let inc_toggles = ref 0 in
   let churns = ref 0 in
   let explicit_verifies = ref 0 in
@@ -273,24 +292,42 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
                Vm.dynamic_failure vm ~id:live.(Xrng.int rng !nlive)
              end
            end
-           else if Xrng.int rng 2 = 0 then churn (Option.get node)
            else begin
-             (* device seeds split the injection slot between tenant
-                churn (above) and toggling the wear-leveling stage
-                mid-run: enable installs a stage over the already-holed
-                device (freezing its unusable set), disable pauses it —
-                both stress on_failure re-translation and the gap-line
-                evacuate/re-reserve path under load *)
-             incr wl_toggles;
-             let psi = 24 + Xrng.int rng 96 in
-             let next =
-               match Xrng.int rng 4 with
-               | 0 -> None
-               | 1 -> Some (Holes_pcm.Wear_level.Start_gap { psi })
-               | 2 -> Some (Holes_pcm.Wear_level.Random_remap { psi })
-               | _ -> Some (Holes_pcm.Wear_level.Decoder_swap { psi })
-             in
-             Vm.set_wear_level vm next
+             (* device seeds split the injection slot three ways:
+                tenant churn, toggling the wear-leveling stage, and
+                toggling the DRAM/PCM tiering policy mid-run.  The
+                wear-level toggle stresses on_failure re-translation
+                and the gap-line evacuate/re-reserve path; the hybrid
+                toggle stresses demote-all writeback (tiering off
+                flushes every DRAM resident home through the charged
+                path) and content-store flushes, with the paranoid
+                verifier checking the residency map after each step. *)
+             match Xrng.int rng 3 with
+             | 0 -> churn (Option.get node)
+             | 1 ->
+                 incr wl_toggles;
+                 let psi = 24 + Xrng.int rng 96 in
+                 let next =
+                   match Xrng.int rng 4 with
+                   | 0 -> None
+                   | 1 -> Some (Holes_pcm.Wear_level.Start_gap { psi })
+                   | 2 -> Some (Holes_pcm.Wear_level.Random_remap { psi })
+                   | _ -> Some (Holes_pcm.Wear_level.Decoder_swap { psi })
+                 in
+                 Vm.set_wear_level vm next
+             | _ ->
+                 incr hyb_toggles;
+                 let epoch = 256 + Xrng.int rng 512 in
+                 let ways = [| 2; 4; 8 |].(Xrng.int rng 3) in
+                 let next =
+                   match Xrng.int rng 4 with
+                   | 0 -> Holes_pcm.Hybrid.none
+                   | 1 -> { Holes_pcm.Hybrid.migrate_epoch = Some epoch; caram_ways = None }
+                   | 2 -> { Holes_pcm.Hybrid.migrate_epoch = None; caram_ways = Some ways }
+                   | _ ->
+                       { Holes_pcm.Hybrid.migrate_epoch = Some epoch; caram_ways = Some ways }
+                 in
+                 Vm.set_hybrid vm next
            end
        | r when r < 96 -> Vm.collect vm ~full:(Xrng.int rng 4 = 0)
        | r when r < 98 ->
@@ -329,6 +366,7 @@ let run_one ?(steps = default_steps) ~(seed : int) () : outcome =
     allocs = !allocs;
     injections = !injections;
     wl_toggles = !wl_toggles;
+    hyb_toggles = !hyb_toggles;
     inc_toggles = !inc_toggles;
     churns = !churns;
     gcs = m.Metrics.full_gcs + m.Metrics.nursery_gcs;

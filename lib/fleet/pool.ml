@@ -36,6 +36,10 @@ type t = {
   min_heap_bytes : int;
   max_replacements : int;
   srng : Xrng.t;  (** storm injection stream *)
+  mutable storm_stamp : int;
+      (** monotone content stamp for storm payloads under a caram store
+          (identical junk would be absorbed as a single-byte pattern and
+          wear nothing); untouched — and unread — when caram is off *)
   mutable evictions : int;
   gc_pause : Holes_obs.Stats.hist;
       (** GC pauses (full + nursery, ns) of tenants already evicted —
@@ -72,6 +76,16 @@ let create ?(tracer = Trace.null) ~(cfg : Holes.Config.t) ~(tenant : Tenant.para
     | Holes.Config.Device d -> d
     | Holes.Config.Static -> invalid_arg "Fleet.Pool.create: requires the device backend"
   in
+  (* per-tenant DRAM provisioning: a pooled node hosting [slots] tenants
+     scales its migration-target DRAM by the tenant count, so each
+     tenant sees the same frame budget a dedicated device would give it
+     (plus the shared swap-in reserve).  Without migration the node
+     keeps the configured frame count — provisioning DRAM nobody can
+     use would only change page numbering. *)
+  let params =
+    if cfg.Holes.Config.hybrid.Pcm.Hybrid.migrate_epoch = None then params
+    else { params with Holes.Config.dram_pages = params.Holes.Config.dram_pages * slots }
+  in
   let min_heap_bytes = Profile.min_heap tenant.Tenant.profile in
   let ppt = pages_per_tenant cfg ~min_heap_bytes in
   let device_pages = (slots * ppt * 5) / 4 in
@@ -84,6 +98,7 @@ let create ?(tracer = Trace.null) ~(cfg : Holes.Config.t) ~(tenant : Tenant.para
       min_heap_bytes;
       max_replacements;
       srng = Xrng.split rng;
+      storm_stamp = 0;
       evictions = 0;
       gc_pause = Holes_obs.Stats.hist ();
       inc_active = false;
@@ -168,9 +183,19 @@ let storm (t : t) ~(writes : int) : unit =
   let irq = t.node.Holes.Memory_backend.n_interrupts in
   let nlines = Pcm.Device.nlines dev in
   let payload = Bytes.make Pcm.Geometry.line_bytes '\xEE' in
+  let caram_on = Pcm.Device.caram dev <> None in
   (try
      for _ = 1 to writes do
        let l = Xrng.int t.srng nlines in
+       (* under a content store, constant junk compresses to a pattern
+          binding and wears nothing; stamp each store unique so the
+          storm keeps its wear pressure (no extra RNG draws, and the
+          payload is untouched when caram is off) *)
+       if caram_on then begin
+         t.storm_stamp <- t.storm_stamp + 1;
+         Bytes.set_int64_le payload 0 (Int64.of_int t.storm_stamp);
+         Bytes.set_int64_le payload 8 (Int64.of_int l)
+       end;
        if Pcm.Device.line_usable dev l then
          match Pcm.Device.write dev l payload with
          | Pcm.Device.Stored | Pcm.Device.Write_failed -> ()
@@ -216,3 +241,16 @@ let wear_cov (t : t) : float = Pcm.Device.wear_cov t.node.Holes.Memory_backend.n
 
 let device_stats (t : t) : Pcm.Device.stats =
   Pcm.Device.stats t.node.Holes.Memory_backend.n_device
+
+(** Whether the node runs any tiering mechanism — gates the hybrid
+    fields in the fleet JSONL, like {!inc_active} for pauses. *)
+let hybrid_active (t : t) : bool =
+  not (Pcm.Hybrid.is_none t.node.Holes.Memory_backend.n_hybrid)
+
+(** Hot-page migration counters of the node's tier, when migration is on. *)
+let tier_stats (t : t) : Osal.Tier.stats option =
+  Option.map Osal.Tier.stats t.node.Holes.Memory_backend.n_tier
+
+(** Content-store counters of the node's device, when caram is on. *)
+let caram_stats (t : t) : Pcm.Caram.stats option =
+  Option.map Pcm.Caram.stats (Pcm.Device.caram t.node.Holes.Memory_backend.n_device)

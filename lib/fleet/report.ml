@@ -33,6 +33,14 @@ type partial = {
   mutable evictions : int;
   mutable dead_tenants : int;  (** slots with no replacement left *)
   mutable end_ns : int;  (** virtual time when the device's queue drained *)
+  mutable hybrid_active : bool;
+      (** the node runs a tiering mechanism; gates the hyb_* fields so
+          untiered records keep their historical shape *)
+  mutable hyb_promotes : int;
+  mutable hyb_demotes : int;
+  mutable hyb_dram_writes : int;  (** writes absorbed by promoted DRAM frames *)
+  mutable hyb_dedup_hits : int;  (** writes absorbed by content dedup *)
+  mutable hyb_compressed : int;  (** writes absorbed as single-byte patterns *)
 }
 
 let partial ~(device_index : int) ~(epochs : int) : partial =
@@ -54,6 +62,12 @@ let partial ~(device_index : int) ~(epochs : int) : partial =
     evictions = 0;
     dead_tenants = 0;
     end_ns = 0;
+    hybrid_active = false;
+    hyb_promotes = 0;
+    hyb_demotes = 0;
+    hyb_dram_writes = 0;
+    hyb_dedup_hits = 0;
+    hyb_compressed = 0;
   }
 
 let ns_to_ms (ns : float) : float = ns /. 1e6
@@ -100,6 +114,15 @@ let partial_fields (p : partial) : (string * float) list =
          ("gc_pause_max_ms", ns_to_ms (Stats.max_value p.gc_pause));
          ("gc_pause_count", float_of_int (Stats.count p.gc_pause));
        ])
+  @ (if not p.hybrid_active then []
+     else
+       [
+         ("hyb_promotes", float_of_int p.hyb_promotes);
+         ("hyb_demotes", float_of_int p.hyb_demotes);
+         ("hyb_dram_writes", float_of_int p.hyb_dram_writes);
+         ("hyb_dedup_hits", float_of_int p.hyb_dedup_hits);
+         ("hyb_compressed", float_of_int p.hyb_compressed);
+       ])
   @ per_epoch
 
 type t = {
@@ -129,6 +152,16 @@ type t = {
   gc_pause_p99_ms : float;  (** interpolated p99 of [gc_pause] *)
   gc_pause_max_ms : float;  (** worst single mutator stall anywhere *)
   inc_active : bool;  (** any tenant ran incrementally *)
+  hybrid_active : bool;  (** any device ran a tiering mechanism *)
+  hyb_promotes : int;
+  hyb_demotes : int;
+  hyb_dram_writes : int;
+  hyb_dedup_hits : int;
+  hyb_compressed : int;
+  hyb_absorption : float;
+      (** fraction of the fleet's charged writes that never wore a PCM
+          cell: (DRAM-absorbed + dedup + compressed)
+          / (device writes + DRAM-absorbed) *)
 }
 
 (** Fold per-device partials (callers pass them in device-index order;
@@ -154,6 +187,11 @@ let merge ~(duration_ms : float) ~(tenants : int) (parts : partial list) : t =
   let dur_s = duration_ms /. 1e3 in
   let p50_ms, p99_ms, p999_ms = quantiles_ms latency in
   let gc_pause = Stats.merged (List.map (fun (p : partial) -> p.gc_pause) parts) in
+  let hyb_dram_writes = sum (fun p -> p.hyb_dram_writes) in
+  let hyb_dedup_hits = sum (fun p -> p.hyb_dedup_hits) in
+  let hyb_compressed = sum (fun p -> p.hyb_compressed) in
+  let device_writes = sum (fun p -> p.device_writes) in
+  let charged = device_writes + hyb_dram_writes in
   {
     devices;
     tenants;
@@ -176,13 +214,24 @@ let merge ~(duration_ms : float) ~(tenants : int) (parts : partial list) : t =
       List.fold_left (fun acc (p : partial) -> Float.max acc p.wear_cov) 0.0 parts;
     evictions = sum (fun p -> p.evictions);
     dead_tenants = sum (fun p -> p.dead_tenants);
-    device_writes = sum (fun p -> p.device_writes);
+    device_writes;
     device_failures = sum (fun p -> p.device_failures);
     gc_ms = ns_to_ms (sumf (fun p -> p.gc_ns));
     gc_pause;
     gc_pause_p99_ms = ns_to_ms (Stats.quantile ~interp:true gc_pause 0.99);
     gc_pause_max_ms = ns_to_ms (Stats.max_value gc_pause);
     inc_active = List.exists (fun (p : partial) -> p.inc_active) parts;
+    hybrid_active = List.exists (fun (p : partial) -> p.hybrid_active) parts;
+    hyb_promotes = sum (fun p -> p.hyb_promotes);
+    hyb_demotes = sum (fun p -> p.hyb_demotes);
+    hyb_dram_writes;
+    hyb_dedup_hits;
+    hyb_compressed;
+    hyb_absorption =
+      (if charged = 0 then 0.0
+       else
+         float_of_int (hyb_dram_writes + hyb_dedup_hits + hyb_compressed)
+         /. float_of_int charged);
   }
 
 (** Flat metrics of the merged report (figure rows, tests). *)
@@ -215,6 +264,16 @@ let fields (t : t) : (string * float) list =
          ("gc_pause_max_ms", t.gc_pause_max_ms);
          ("gc_pause_count", float_of_int (Stats.count t.gc_pause));
        ])
+  @ (if not t.hybrid_active then []
+     else
+       [
+         ("hyb_promotes", float_of_int t.hyb_promotes);
+         ("hyb_demotes", float_of_int t.hyb_demotes);
+         ("hyb_dram_writes", float_of_int t.hyb_dram_writes);
+         ("hyb_dedup_hits", float_of_int t.hyb_dedup_hits);
+         ("hyb_compressed", float_of_int t.hyb_compressed);
+         ("hyb_absorption", t.hyb_absorption);
+       ])
   @ List.concat
       (List.mapi
          (fun i h -> [ (Printf.sprintf "epoch%d_p99_ms" i, ns_to_ms (Stats.quantile h 0.99)) ])
@@ -224,7 +283,13 @@ let pp (ppf : Format.formatter) (t : t) : unit =
   let pauses ppf =
     if Stats.count t.gc_pause > 0 then
       Format.fprintf ppf "@,gc pauses: %d recorded, p99 %.3f ms, max %.3f ms"
-        (Stats.count t.gc_pause) t.gc_pause_p99_ms t.gc_pause_max_ms
+        (Stats.count t.gc_pause) t.gc_pause_p99_ms t.gc_pause_max_ms;
+    if t.hybrid_active then
+      Format.fprintf ppf
+        "@,hybrid: %d promotes, %d demotes; absorbed %d DRAM + %d dedup + %d compressed \
+         (%.1f%% of writes)"
+        t.hyb_promotes t.hyb_demotes t.hyb_dram_writes t.hyb_dedup_hits t.hyb_compressed
+        (100.0 *. t.hyb_absorption)
   in
   Format.fprintf ppf
     "@[<v>fleet: %d tenants over %d devices, %.0f ms window@,\

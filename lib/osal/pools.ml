@@ -42,6 +42,10 @@ let free_dram_count (t : t) : int = List.length t.free_dram
 let free_perfect_count (t : t) : int = List.length t.free_perfect
 let free_imperfect_count (t : t) : int = List.length t.free_imperfect
 
+(** Is page [id] currently handed out?  (Verifier support: a tier
+    resident's PCM home must stay reserved while promoted.) *)
+let is_allocated (t : t) (id : int) : bool = Hashtbl.mem t.allocated id
+
 let take_from lst =
   match lst with [] -> None | x :: rest -> Some (x, rest)
 

@@ -181,6 +181,23 @@ let remap (t : t) (p : process) ~(virt : int) ~(new_phys : int) : unit =
       m.prot <- Read_write;
       Hashtbl.replace t.reverse new_phys (p.pid, m.virt)
 
+(** Retarget virtual page [virt] to [new_phys] {e without} freeing the
+    old frame — the tiering primitive (DESIGN.md §17).  A promotion
+    points the mapping at a DRAM frame while the page's PCM home stays
+    reserved (its failure bitmap and wear state must survive the
+    round-trip); the matching demotion points it back.  The caller owns
+    both frames' lifecycles. *)
+let migrate (t : t) (p : process) ~(virt : int) ~(new_phys : int) : unit =
+  match Hashtbl.find_opt p.page_table virt with
+  | None -> invalid_arg "Vmm.migrate: unmapped virtual page"
+  | Some m ->
+      Hashtbl.remove t.reverse m.phys;
+      m.phys <- new_phys;
+      Hashtbl.replace t.reverse new_phys (p.pid, m.virt);
+      if Trace.armed t.tracer then
+        Trace.instant t.tracer ~tid:Trace.tid_osal "migrate"
+          ~args:[ ("virt", float_of_int virt); ("phys", float_of_int new_phys) ]
+
 (** Unmap and free a virtual page. *)
 let munmap (t : t) (p : process) ~(virt : int) : unit =
   match Hashtbl.find_opt p.page_table virt with

@@ -25,6 +25,10 @@ type config = {
   wear_level : Wear_level.policy option;
       (** leveling stage installed at boot; [None] leaves the pipeline
           identity-above-redirect, byte-identical to the unleveled path *)
+  caram : int option;
+      (** CARAM content-store associativity installed at boot; [None]
+          leaves the write path byte-identical to the content-blind
+          device (DESIGN.md §16) *)
 }
 
 let default_config =
@@ -34,6 +38,7 @@ let default_config =
     clustering = Some Geometry.default_region_pages;
     buffer_capacity = 32;
     wear_level = None;
+    caram = None;
   }
 
 (* lines per arena chunk: 1024 × 64 B = 64 KB, so a device that only
@@ -74,6 +79,10 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable failures : int;
+  mutable caram : Caram.t option;
+      (** content-aware store consulted before the cell write; not a
+          {!Translate} stage because dedup is many-to-one, while the
+          pipeline stages must stay bijections *)
   tracer : Trace.view;  (** pcm-lane events: wear-outs, buffer traffic, remaps *)
 }
 
@@ -248,6 +257,10 @@ let create ?(config = default_config) ?(tracer = Trace.null) ~(seed : int) () : 
       reads = 0;
       writes = 0;
       failures = 0;
+      caram =
+        (match config.caram with
+        | None -> None
+        | Some ways -> Some (Caram.create ~ways ~nlines ()));
       tracer;
     }
   in
@@ -298,14 +311,24 @@ let line_usable (t : t) (logical : int) : bool =
 let read (t : t) (logical : int) : Bytes.t =
   check_line t logical;
   t.reads <- t.reads + 1;
-  let physical = physical_of_logical t logical in
-  match Failure_buffer.forward t.buffer ~addr:logical with
-  | Some data -> Bytes.copy data
+  (* a caram binding is always the line's latest write (an absorbed
+     write never reaches the cells or the failure buffer), so it wins
+     over both *)
+  match
+    match t.caram with
+    | None -> None
+    | Some c -> Caram.read c logical ~line_bytes:Geometry.line_bytes
+  with
+  | Some data -> data
   | None -> (
-      match t.arena.(physical / chunk_lines) with
-      | Some chunk ->
-          Bytes.sub chunk (physical mod chunk_lines * Geometry.line_bytes) Geometry.line_bytes
-      | None -> Bytes.make Geometry.line_bytes '\000')
+      let physical = physical_of_logical t logical in
+      match Failure_buffer.forward t.buffer ~addr:logical with
+      | Some data -> Bytes.copy data
+      | None -> (
+          match t.arena.(physical / chunk_lines) with
+          | Some chunk ->
+              Bytes.sub chunk (physical mod chunk_lines * Geometry.line_bytes) Geometry.line_bytes
+          | None -> Bytes.make Geometry.line_bytes '\000'))
 
 type write_result =
   | Stored  (** write succeeded (possibly via an ECP correction) *)
@@ -323,6 +346,11 @@ let write (t : t) (logical : int) (payload : Bytes.t) : write_result =
   if Failure_buffer.is_stalled t.buffer then Stalled
   else begin
     t.writes <- t.writes + 1;
+    match t.caram with
+    | Some c when Caram.write c logical payload = Caram.Absorbed ->
+        (* content dedup/compression: the cells never see this write *)
+        Stored
+    | _ ->
     let physical = translate_for_write t logical in
     match Wear.write t.rng t.config.wear t.lines.(physical) with
     | Wear.Ok | Wear.Corrected ->
@@ -391,6 +419,38 @@ let wear_level (t : t) : Wear_level.policy option =
 (** The leveling core, for property tests. *)
 let wear_stage (t : t) : Wear_level.t option = t.wear_stage
 
+(** Switch the CARAM content store mid-run.  Disabling (or changing the
+    associativity of) a live store first writes every bound line's
+    content through the normal cell path — the store was authoritative
+    for those lines, and tearing it down must not lose data.  The
+    write-through wears cells and can surface failures, which ride the
+    ordinary failure up-call. *)
+let set_caram (t : t) (ways : int option) : unit =
+  let flush c =
+    t.caram <- None;
+    List.iter
+      (fun (logical, data) ->
+        if not (Bitset.get t.unusable logical) then ignore (write t logical data))
+      (Caram.flush c ~line_bytes:Geometry.line_bytes)
+  in
+  match (t.caram, ways) with
+  | None, None -> ()
+  | None, Some w -> t.caram <- Some (Caram.create ~ways:w ~nlines:t.nlines ())
+  | Some c, None -> flush c
+  | Some c, Some w ->
+      if Caram.(c.ways) <> w then begin
+        flush c;
+        t.caram <- Some (Caram.create ~ways:w ~nlines:t.nlines ())
+      end
+
+(** The content store, for property tests and the verifier. *)
+let caram (t : t) : Caram.t option = t.caram
+
+(** CARAM internal-consistency errors (empty when off or consistent);
+    touches no counted path. *)
+let caram_check (t : t) : string list =
+  match t.caram with None -> [] | Some c -> Caram.check c
+
 (** OS drain path: acknowledge (and drop) the buffered failure for the
     failing logical address, after the OS has relocated (or restored)
     the data.  Returns the preserved payload. *)
@@ -456,6 +516,7 @@ type stats = {
   failures : int;
   buffer : Failure_buffer.stats;
   wl : wl_stats option;  (** present once a leveling stage is installed *)
+  caram : Caram.stats option;  (** present while the content store is live *)
 }
 
 let stats (t : t) : stats =
@@ -464,6 +525,7 @@ let stats (t : t) : stats =
     writes = t.writes;
     failures = t.failures;
     buffer = Failure_buffer.stats t.buffer;
+    caram = (match t.caram with None -> None | Some c -> Some (Caram.stats c));
     wl =
       (match t.wear_stage with
       | None -> None

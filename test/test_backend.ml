@@ -68,6 +68,7 @@ let test_fbuf_overflow_drains () =
           wear = { Pcm.Wear.mean_endurance = 1.0; sigma = 0.01; ecp_entries = 0; ecp_extension = 0.0 };
           clustering = None;
           buffer_capacity = 8 (* watermark = capacity - 4 = 4 *);
+          caram = None;
           wear_level = None;
         }
       ~seed:7 ()
@@ -113,7 +114,7 @@ let test_clustering_boundary_in_map_failures () =
   let device =
     Pcm.Device.create
       ~config:
-        { Pcm.Device.pages = 4; wear = Pcm.Wear.default_params; clustering = Some 1; buffer_capacity = 16; wear_level = None }
+        { Pcm.Device.pages = 4; wear = Pcm.Wear.default_params; clustering = Some 1; buffer_capacity = 16; caram = None; wear_level = None }
       ~seed:5 ()
   in
   let mid = 10 in

@@ -30,6 +30,7 @@ let test_aged_device_feeds_runtime () =
           wear = { Pcm.Wear.mean_endurance = 300.0; sigma = 0.3; ecp_entries = 1; ecp_extension = 0.1 };
           clustering = Some 2;
           buffer_capacity = 16;
+          caram = None;
           wear_level = None;
         }
       ~seed:3 ()

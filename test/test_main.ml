@@ -22,4 +22,5 @@ let () =
       ("integration", Test_integration.suite);
       ("backend", Test_backend.suite);
       ("fleet", Test_fleet.suite);
+      ("hybrid", Test_hybrid.suite);
     ]
